@@ -1,0 +1,43 @@
+"""PEP 517/660 build backend shim for offline environments.
+
+``pip install -e .`` normally creates an isolated build environment and
+downloads ``setuptools``/``wheel`` into it.  This repository targets
+fully offline machines, so the backend instead re-exposes the host
+interpreter's ``setuptools`` inside pip's isolated environment and
+delegates every hook to ``setuptools.build_meta``.
+"""
+
+import sys
+import sysconfig
+
+
+def _ensure_host_site_packages() -> None:
+    for key in ("purelib", "platlib"):
+        path = sysconfig.get_paths().get(key)
+        if path and path not in sys.path:
+            sys.path.append(path)
+
+
+_ensure_host_site_packages()
+
+from setuptools import build_meta as _backend  # noqa: E402
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    """No extra requirements; the host environment provides everything."""
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    """No extra requirements; the host environment provides everything."""
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    """No extra requirements; the host environment provides everything."""
+    return []
+
+
+def __getattr__(name):
+    """Delegate all PEP 517/660 hooks to setuptools.build_meta."""
+    return getattr(_backend, name)

@@ -1,0 +1,56 @@
+"""Figures 12-14: runtime coverage of reduction regions.
+
+Executes every corpus program through the interpreter (the expensive
+part this harness times) and regenerates the coverage panels plus the
+§6.2 headline numbers (mean histogram coverage ≈ 68%; EP ≈ 46%; sgemm
+as the scalar exception).
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.evaluation.coverage import run_coverage, summary_against_paper
+
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize(
+    "suite_name,figure",
+    [("NAS", "fig12"), ("Parboil", "fig13"), ("Rodinia", "fig14")],
+)
+def test_coverage_panel(benchmark, suite_name, figure):
+    result = benchmark.pedantic(
+        run_coverage, args=(suite_name,), rounds=1, iterations=1
+    )
+    _RESULTS[suite_name] = result
+    text = result.render() + "\n\n" + result.render_bars()
+    print()
+    print(write_artifact(f"{figure}_{suite_name.lower()}.txt", text))
+    histogram_rows = [r for r in result.rows if r.histogram_coverage > 0]
+    expected = {"NAS": 3, "Parboil": 2, "Rodinia": 1}[suite_name]
+    assert len(histogram_rows) == expected
+
+
+def test_coverage_headlines(benchmark):
+    assert len(_RESULTS) == 3, "run the panels first"
+    text = benchmark.pedantic(
+        summary_against_paper, args=(_RESULTS,), rounds=1, iterations=1
+    )
+    print()
+    print(write_artifact("fig12_14_totals.txt", text))
+    rows = [
+        r
+        for result in _RESULTS.values()
+        for r in result.rows
+        if r.histogram_coverage > 0
+    ]
+    mean = sum(r.histogram_coverage for r in rows) / len(rows)
+    # Paper: 68% average histogram coverage; shapes must agree.
+    assert 0.55 < mean < 0.85
+    ep = next(r for r in _RESULTS["NAS"].rows if r.benchmark == "EP")
+    assert 0.3 < ep.histogram_coverage < 0.6  # paper: 46%
+    sgemm = next(
+        r for r in _RESULTS["Parboil"].rows if r.benchmark == "sgemm"
+    )
+    assert sgemm.scalar_coverage > 0.5  # the §6.2 exception

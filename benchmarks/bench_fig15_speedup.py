@@ -1,0 +1,61 @@
+"""Figure 15: speedup of exploited reductions versus the originals.
+
+For each of EP, IS, histo, tpacf and kmeans: detect, outline, execute
+sequentially and as privatized shards on the simulated 64-core machine,
+and model the original hand-parallelized version's strategy.  The
+benchmark time is dominated by real (interpreted) execution of the
+workloads.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.evaluation.speedup import evaluate_benchmark
+from repro.workloads.corpus import FIGURE15_BENCHMARKS
+
+_ROWS = {}
+
+#: Acceptable measured ranges: the *shape* of Figure 15 (who wins and
+#: by roughly what factor), not the Opteron's absolute numbers.
+_EXPECTED = {
+    "EP": (1.3, 2.2),
+    "IS": (2.0, 4.5),
+    "histo": (1.5, 3.2),
+    "tpacf": (15.0, 60.0),
+}
+
+
+@pytest.mark.parametrize("name", FIGURE15_BENCHMARKS)
+def test_figure15_benchmark(benchmark, name):
+    row = benchmark.pedantic(
+        evaluate_benchmark, args=(name,), rounds=1, iterations=1
+    )
+    _ROWS[name] = row
+    if name == "kmeans":
+        assert row.ours is None
+        assert "multiple histogram updates" in row.failure_reason
+    else:
+        assert row.ours is not None
+        assert row.results_match, "parallel run diverged from sequential"
+        low, high = _EXPECTED[name]
+        assert low < row.ours < high, (name, row.ours)
+
+
+def test_figure15_shape_and_render(benchmark):
+    assert len(_ROWS) == len(FIGURE15_BENCHMARKS), "run the panels first"
+    from repro.evaluation.speedup import SpeedupResult
+
+    result = benchmark.pedantic(
+        lambda: SpeedupResult(rows=[_ROWS[n] for n in
+                                    FIGURE15_BENCHMARKS]),
+        rounds=1, iterations=1,
+    )
+    text = result.render() + "\n\n" + result.render_bars()
+    print()
+    print(write_artifact("fig15_speedup.txt", text))
+    # Shape checks from §6.3:
+    assert _ROWS["EP"].original > _ROWS["EP"].ours        # coarse wins
+    assert _ROWS["IS"].original > _ROWS["IS"].ours        # bucketing wins
+    assert _ROWS["histo"].ours > _ROWS["histo"].original  # atomics lose
+    assert _ROWS["tpacf"].original < 1.0                  # slowdown
+    assert _ROWS["tpacf"].ours > 10.0                     # near-linear

@@ -1,0 +1,41 @@
+"""Figure 8a/8b/8c: reductions detected per benchmark and per tool.
+
+Regenerates the three panels of Figure 8 (and the §6.1 totals) while
+benchmarking the full detection pipeline — constraint solving over a
+whole suite per round.
+"""
+
+import pytest
+
+from conftest import write_artifact
+from repro.evaluation.discovery import run_discovery, summary_against_paper
+
+
+@pytest.mark.parametrize(
+    "suite_name,figure",
+    [("NAS", "fig8a"), ("Parboil", "fig8b"), ("Rodinia", "fig8c")],
+)
+def test_figure8(benchmark, suite_name, figure):
+    from repro.workloads import clear_cache
+
+    def run():
+        clear_cache()  # include compilation, like the paper's pass
+        return run_discovery(suite_name)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(row.expected_ok for row in result.rows)
+    text = result.render()
+    print()
+    print(write_artifact(f"{figure}_{suite_name.lower()}.txt", text))
+
+
+def test_figure8_totals(benchmark):
+    from repro.evaluation.discovery import run_all_discovery
+
+    results = benchmark.pedantic(run_all_discovery, rounds=1, iterations=1)
+    scalars = sum(r.totals[0] for r in results.values())
+    histograms = sum(r.totals[1] for r in results.values())
+    assert (scalars, histograms) == (84, 6)
+    text = summary_against_paper(results)
+    print()
+    print(write_artifact("fig8_totals.txt", text))

@@ -1,0 +1,35 @@
+"""Figures 9-11: SCoPs found by the Polly baseline per benchmark."""
+
+import pytest
+
+from conftest import write_artifact
+from repro.evaluation.scops import (
+    run_all_scops,
+    run_scops,
+    summary_against_paper,
+)
+
+
+@pytest.mark.parametrize(
+    "suite_name,figure",
+    [("NAS", "fig9"), ("Parboil", "fig10"), ("Rodinia", "fig11")],
+)
+def test_scop_panel(benchmark, suite_name, figure):
+    result = benchmark.pedantic(
+        run_scops, args=(suite_name,), rounds=1, iterations=1
+    )
+    assert all(row.expected_ok for row in result.rows)
+    text = result.render()
+    print()
+    print(write_artifact(f"{figure}_{suite_name.lower()}.txt", text))
+
+
+def test_scop_statistics(benchmark):
+    results = benchmark.pedantic(run_all_scops, rounds=1, iterations=1)
+    total = sum(r.total_scops for r in results.values())
+    zero = sum(r.zero_scop_programs for r in results.values())
+    assert total == 62
+    assert zero == 23
+    text = summary_against_paper(results)
+    print()
+    print(write_artifact("fig9_11_totals.txt", text))

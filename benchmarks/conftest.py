@@ -1,0 +1,14 @@
+"""Shared helpers for the figure-regenerating benchmark harness."""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+
+def write_artifact(name: str, text: str) -> str:
+    """Persist a rendered table/figure under results/ and return it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

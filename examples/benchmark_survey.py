@@ -1,0 +1,28 @@
+"""Survey the full 40-program corpus: the Figure 8 panels + §6.1 totals.
+
+Run with::
+
+    python examples/benchmark_survey.py
+"""
+
+from repro.evaluation.discovery import run_all_discovery, summary_against_paper
+from repro.evaluation.scops import run_all_scops
+from repro.evaluation.scops import summary_against_paper as scop_summary
+
+
+def main() -> None:
+    discovery = run_all_discovery()
+    for suite_name, result in discovery.items():
+        print(result.render())
+        print()
+    print(summary_against_paper(discovery))
+    print()
+    scops = run_all_scops()
+    for suite_name, result in scops.items():
+        print(result.render())
+        print()
+    print(scop_summary(scops))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""The paper's running example (Figure 2): NAS EP's gaussian histogram.
+
+Walks through exactly the §2 story:
+
+* the loop carries two scalar reductions (sx, sy) and one histogram
+  (q[l]) behind data-dependent control flow and pure math calls;
+* changing the branch condition to ``t1 <= sx`` (a control dependence
+  on an intermediate result) destroys all three reductions;
+* once detected, privatization parallelizes the loop.
+
+Run with::
+
+    python examples/ep_histogram.py
+"""
+
+from repro import compile_source, find_reductions, outline_loop, plan_all
+from repro.runtime import MachineModel, ParallelExecutor
+from repro.runtime.parallel import run_sequential
+
+EP = """
+const int NK = 4096;
+double x[8192]; double q[16]; double sx; double sy;
+
+void vranlc(void) {
+    for (int i = 0; i < 2 * NK; i++) {
+        x[i] = fmod(0.618033988 * (i + 1) + 0.318309886, 1.0);
+    }
+}
+
+void gaussian_pairs(void) {
+    double lsx = 0.0;
+    double lsy = 0.0;
+    for (int i = 0; i < NK; i++) {
+        double x1 = 2.0 * x[2 * i] - 1.0;
+        double x2 = 2.0 * x[2 * i + 1] - 1.0;
+        double t1 = x1 * x1 + x2 * x2;
+        if (t1 <= 1.0) {
+            double t2 = sqrt(-2.0 * log(t1) / t1);
+            double t3 = x1 * t2;
+            double t4 = x2 * t2;
+            int l = (int) fmax(fabs(t3), fabs(t4));
+            q[l] = q[l] + 1.0;
+            lsx = lsx + t3;
+            lsy = lsy + t4;
+        }
+    }
+    sx = lsx;
+    sy = lsy;
+}
+
+int main(void) {
+    vranlc();
+    gaussian_pairs();
+    print_double(sx);
+    print_double(sy);
+    print_double(q[0] + q[1] + q[2]);
+    return 0;
+}
+"""
+
+#: §2's counterexample: the condition reads the accumulator.
+EP_BROKEN = EP.replace("if (t1 <= 1.0)", "if (t1 <= lsx)")
+
+
+def main() -> None:
+    print("=== Figure 2: the EP kernel ===")
+    module = compile_source(EP, "ep")
+    report = find_reductions(module)
+    print(report.summary())
+    for scalar in report.scalars:
+        print(f"  scalar   : {scalar.name} (op {scalar.op.value})")
+    for histogram in report.histograms:
+        print(f"  histogram: {histogram.name} (op {histogram.op.value}); "
+              f"runtime checks: "
+              f"{[c.describe() for c in histogram.runtime_checks]}")
+
+    print("\n=== §2 counterexample: condition changed to t1 <= sx ===")
+    broken = compile_source(EP_BROKEN, "ep_broken")
+    broken_report = find_reductions(broken)
+    print(broken_report.summary())
+    assert broken_report.counts() == (0, 0), (
+        "a control dependence on an intermediate result must kill "
+        "the reductions"
+    )
+    print("  all reductions correctly rejected")
+
+    print("\n=== §4: privatized parallel execution ===")
+    tasks = []
+    for function_reductions in report.functions:
+        plans, _ = plan_all(module, function_reductions)
+        tasks.extend(outline_loop(module, plan) for plan in plans)
+    _, _, seq = run_sequential(module)
+    executor = ParallelExecutor(module, tasks, threads=64)
+    result = executor.run()
+    assert result.output == seq.output
+    machine = MachineModel()
+    speedup = seq.instructions_executed / result.simulated_time(machine)
+    print(f"  sequential output : {seq.output}")
+    print(f"  parallel output   : {result.output}")
+    print(f"  simulated speedup : {speedup:.2f}x on 64 cores "
+          f"(paper: +62% full-program, coverage-limited)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,146 @@
+"""Command line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``detect FILE.c``
+    Compile a mini-C file and report every detected reduction (plus the
+    icc/Polly baseline verdicts with ``--baselines``).
+
+``emit FILE.c``
+    Print the canonical SSA IR after the full pass pipeline.
+
+``parallelize FILE.c``
+    Detect, plan, outline and run the program sequentially and on the
+    simulated multicore machine; reports the simulated speedup.
+
+``corpus``
+    Run detection over the built-in 40-program corpus and print the
+    Figure 8 panels.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import compile_source, find_reductions, outline_loop, plan_all
+from .ir import print_module
+from .runtime import MachineModel, ParallelExecutor
+from .runtime.parallel import run_sequential
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_detect(args) -> int:
+    module = compile_source(_read(args.file), args.file)
+    report = find_reductions(module)
+    print(report.summary())
+    for scalar in report.scalars:
+        arrays = ", ".join(b.short_name() for b in scalar.input_bases)
+        print(f"  scalar    {scalar.name}  op={scalar.op.value}  "
+              f"reads [{arrays}]")
+    for histogram in report.histograms:
+        kind = "affine" if histogram.idx_affine else "indirect"
+        checks = "; ".join(c.describe() for c in histogram.runtime_checks)
+        print(f"  histogram {histogram.name}  op={histogram.op.value}  "
+              f"({kind} index)  checks [{checks}]")
+    if args.baselines:
+        from .baselines import icc, polly
+
+        icc_report = icc.analyze_module(module)
+        polly_report = polly.analyze_module(module)
+        print(f"  icc model   : {icc_report.reduction_count()} reduction(s)")
+        scops, reduction_scops = polly_report.counts()
+        print(f"  Polly model : {scops} SCoP(s), "
+              f"{reduction_scops} with reductions")
+    return 0
+
+
+def _cmd_emit(args) -> int:
+    module = compile_source(_read(args.file), args.file)
+    print(print_module(module), end="")
+    return 0
+
+
+def _cmd_parallelize(args) -> int:
+    module = compile_source(_read(args.file), args.file)
+    report = find_reductions(module)
+    tasks = []
+    for function_reductions in report.functions:
+        plans, failures = plan_all(module, function_reductions)
+        for failure in failures:
+            print(f"  refused: {failure}")
+        for plan in plans:
+            task = outline_loop(module, plan)
+            print(f"  outlined: {task.task.name} "
+                  f"({len(plan.scalars)} scalar(s), "
+                  f"{len(plan.histograms)} histogram(s))")
+            tasks.append(task)
+    if not tasks:
+        print("nothing to parallelize")
+        return 1
+    _, _, sequential = run_sequential(module, entry=args.entry)
+    executor = ParallelExecutor(module, tasks, threads=args.threads)
+    result = executor.run(entry=args.entry)
+    if result.output != sequential.output:
+        print("ERROR: parallel output diverged", file=sys.stderr)
+        return 2
+    machine = MachineModel(cores=args.threads)
+    t_seq = sequential.instructions_executed
+    t_par = result.simulated_time(machine)
+    print(f"sequential: {t_seq} cycles; parallel: {t_par:.0f} cycles "
+          f"({args.threads} cores)")
+    print(f"speedup: {t_seq / t_par:.2f}x; outputs match")
+    return 0
+
+
+def _cmd_corpus(args) -> int:
+    from .evaluation.discovery import run_all_discovery, summary_against_paper
+
+    results = run_all_discovery()
+    for result in results.values():
+        print(result.render())
+        print()
+    print(summary_against_paper(results))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Constraint-based reduction discovery (CGO 2017).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    detect_cmd = commands.add_parser("detect", help="detect reductions")
+    detect_cmd.add_argument("file")
+    detect_cmd.add_argument("--baselines", action="store_true",
+                            help="also run the icc/Polly models")
+    detect_cmd.set_defaults(fn=_cmd_detect)
+
+    emit_cmd = commands.add_parser("emit", help="print canonical SSA IR")
+    emit_cmd.add_argument("file")
+    emit_cmd.set_defaults(fn=_cmd_emit)
+
+    par_cmd = commands.add_parser("parallelize",
+                                  help="outline + simulate parallel run")
+    par_cmd.add_argument("file")
+    par_cmd.add_argument("--threads", type=int, default=64)
+    par_cmd.add_argument("--entry", default="main")
+    par_cmd.set_defaults(fn=_cmd_parallelize)
+
+    corpus_cmd = commands.add_parser("corpus",
+                                     help="Figure 8 over the corpus")
+    corpus_cmd.set_defaults(fn=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Compiler analyses: CFG, dominators, loops, purity, scalar evolution."""
+
+from .cfg import CFG
+from .defuse import (
+    defined_in_loop,
+    defining_block,
+    live_out_values,
+    transitive_operands,
+    users_in_loop,
+    users_outside_loop,
+)
+from .dominators import DominatorTree, dominance_frontiers
+from .loops import Loop, LoopInfo
+from .purity import PurityAnalysis
+from .scev import (
+    Affine,
+    InductionVariable,
+    LoopBounds,
+    ScalarEvolution,
+)
+
+__all__ = [
+    "CFG",
+    "DominatorTree",
+    "dominance_frontiers",
+    "Loop",
+    "LoopInfo",
+    "PurityAnalysis",
+    "Affine",
+    "InductionVariable",
+    "LoopBounds",
+    "ScalarEvolution",
+    "defining_block",
+    "defined_in_loop",
+    "users_in_loop",
+    "users_outside_loop",
+    "live_out_values",
+    "transitive_operands",
+]

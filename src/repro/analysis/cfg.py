@@ -1,0 +1,94 @@
+"""Control flow graph utilities.
+
+Provides predecessor maps, traversal orders and the single-entry
+single-exit (SESE) region test that backs the ``sese`` constraint atom
+from Fig. 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+
+
+class CFG:
+    """Cached successor/predecessor maps for one function."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.successors: dict[BasicBlock, list[BasicBlock]] = {}
+        self.predecessors: dict[BasicBlock, list[BasicBlock]] = {}
+        for block in function.blocks:
+            self.successors[block] = list(block.successors())
+            self.predecessors.setdefault(block, [])
+        for block in function.blocks:
+            for successor in self.successors[block]:
+                self.predecessors.setdefault(successor, []).append(block)
+
+    def reverse_post_order(self) -> list[BasicBlock]:
+        """Blocks in reverse post-order from the entry."""
+        visited: set[BasicBlock] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter(self.successors[block]))]
+            visited.add(block)
+            while stack:
+                current, successors = stack[-1]
+                advanced = False
+                for successor in successors:
+                    if successor not in visited:
+                        visited.add(successor)
+                        stack.append(
+                            (successor, iter(self.successors[successor]))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        if self.function.blocks:
+            visit(self.function.entry)
+        order.reverse()
+        return order
+
+    def reachable(self) -> set[BasicBlock]:
+        """Blocks reachable from the entry."""
+        return set(self.reverse_post_order())
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks without successors (return blocks)."""
+        return [b for b in self.function.blocks if not self.successors[b]]
+
+    def has_edge(self, source: BasicBlock, target: BasicBlock) -> bool:
+        """True if control can flow directly from ``source`` to ``target``."""
+        return target in self.successors.get(source, [])
+
+    def path_exists_avoiding(
+        self,
+        source: BasicBlock,
+        target: BasicBlock,
+        blocked: BasicBlock,
+    ) -> bool:
+        """True if a path from ``source`` to ``target`` avoids ``blocked``.
+
+        This implements the ``ConstraintCFGBlocked`` atom of Fig. 7: the
+        constraint *holds* when no such path exists.  ``source`` itself
+        being the blocked node means no path exists.
+        """
+        if source is blocked:
+            return False
+        if source is target:
+            return True
+        seen = {source, blocked}
+        work = [source]
+        while work:
+            block = work.pop()
+            for successor in self.successors.get(block, []):
+                if successor is target:
+                    return True
+                if successor not in seen:
+                    seen.add(successor)
+                    work.append(successor)
+        return False

@@ -1,0 +1,59 @@
+"""Control dependence analysis (via post-dominance frontiers).
+
+Block B is control dependent on block C when C ends in a conditional
+branch with one successor that B post-dominates and another that it does
+not: C's branch decides whether B runs.  The paper's generalized graph
+domination walks this *control dominance graph* alongside the data flow
+graph (§3.1.2), which is how the ``t1 <= sx`` counterexample of §2 is
+rejected.
+"""
+
+from __future__ import annotations
+
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from .cfg import CFG
+from .dominators import DominatorTree
+
+
+def control_dependences(
+    function: Function, post_tree: DominatorTree | None = None
+) -> dict[BasicBlock, set[BasicBlock]]:
+    """Map each block to the set of blocks it is control dependent on.
+
+    Uses the classic Ferrante–Ottenstein–Warren construction: for each
+    CFG edge ``C -> S``, every block on the post-dominator tree path
+    from ``S`` up to (but excluding) ``ipostdom(C)`` is control
+    dependent on ``C``.
+    """
+    post_tree = post_tree or DominatorTree.compute_post(function)
+    cfg = CFG(function)
+    reachable = cfg.reachable()
+    result: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in reachable}
+    for block in reachable:
+        successors = cfg.successors[block]
+        if len(successors) < 2:
+            continue
+        stop = post_tree.idom.get(block)
+        for successor in successors:
+            runner: BasicBlock | None = successor
+            while runner is not None and runner is not stop:
+                if runner in result:
+                    result[runner].add(block)
+                runner = post_tree.idom.get(runner)
+    return result
+
+
+def controlling_conditions(
+    block: BasicBlock,
+    deps: dict[BasicBlock, set[BasicBlock]],
+) -> list:
+    """The branch condition values that decide whether ``block`` runs."""
+    from ..ir.instructions import BranchInst
+
+    conditions = []
+    for controller in deps.get(block, ()):
+        terminator = controller.terminator
+        if isinstance(terminator, BranchInst) and terminator.is_conditional:
+            conditions.append(terminator.condition)
+    return conditions

@@ -1,0 +1,68 @@
+"""Function purity analysis.
+
+A call is legal inside a reduction's computation scope only if the callee
+is *pure*: its result depends only on its arguments and it has no side
+effects (§2: the EP kernel is a reduction *"because all the function
+calls that are present are pure"*).  Intrinsics such as ``sqrt`` are
+declared pure; for defined functions purity is derived conservatively:
+
+* no stores except through pointers derived from the function's own
+  allocas;
+* no loads except through those same local pointers or argument-derived
+  pointers to read-only data — we conservatively reject loads from
+  globals;
+* all calls are to pure functions (computed to a fixed point, cycles
+  assumed impure).
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import AllocaInst, CallInst, GEPInst, LoadInst, StoreInst
+from ..ir.module import Module
+from ..ir.values import Value
+
+
+class PurityAnalysis:
+    """Computes and caches purity for every function in a module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self._pure: dict[str, bool] = {}
+        for function in module.functions.values():
+            self.is_pure(function)
+
+    def is_pure(self, function: Function) -> bool:
+        """True if ``function`` is side-effect free and memory-independent."""
+        cached = self._pure.get(function.name)
+        if cached is not None:
+            return cached
+        # Assume impure while analysing, so recursion is rejected.
+        self._pure[function.name] = False
+        result = self._analyse(function)
+        self._pure[function.name] = result
+        return result
+
+    def _analyse(self, function: Function) -> bool:
+        if function.is_declaration:
+            return function.pure
+        local_memory = {
+            id(i) for i in function.instructions() if isinstance(i, AllocaInst)
+        }
+
+        def is_local_pointer(pointer: Value) -> bool:
+            while isinstance(pointer, GEPInst):
+                pointer = pointer.base
+            return id(pointer) in local_memory
+
+        for instruction in function.instructions():
+            if isinstance(instruction, StoreInst):
+                if not is_local_pointer(instruction.pointer):
+                    return False
+            elif isinstance(instruction, LoadInst):
+                if not is_local_pointer(instruction.pointer):
+                    return False
+            elif isinstance(instruction, CallInst):
+                if not self.is_pure(instruction.callee):
+                    return False
+        return True

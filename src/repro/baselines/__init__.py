@@ -1,0 +1,20 @@
+"""Comparison baselines: Polly+reductions, icc, SCEV, LRPD models."""
+
+from . import icc, lrpd, polly, scev_reduction
+from .icc import IccLoopReport, IccReport
+from .polly import PollyReport, SCoP
+from .lrpd import LrpdReport
+from .scev_reduction import ScevReductionReport
+
+__all__ = [
+    "icc",
+    "polly",
+    "lrpd",
+    "scev_reduction",
+    "IccReport",
+    "IccLoopReport",
+    "PollyReport",
+    "SCoP",
+    "LrpdReport",
+    "ScevReductionReport",
+]

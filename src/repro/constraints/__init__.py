@@ -1,0 +1,79 @@
+"""Constraint-based idiom description language and solver.
+
+This package is the paper's primary contribution: a description
+language for computational idioms (atomic constraints over SSA values,
+combined with ∧/∨ plus generalized graph domination) and a generic
+backtracking solver that finds all satisfying value tuples in a
+function.
+"""
+
+from .atomic import (
+    Blocked,
+    CFGEdge,
+    DefDominatesBlock,
+    Distinct,
+    Dominates,
+    EndsInCondBranch,
+    EndsInUncondBranch,
+    InBlock,
+    IsConstantLike,
+    Opcode,
+    PhiIncomingFromBlock,
+    PhiOfTwo,
+    PostDominates,
+    Predicate,
+    SESERegion,
+    StrictlyDominates,
+    StrictlyPostDominates,
+)
+from .core import Assignment, Constraint, IdiomSpec, SolverContext, constraint_labels
+from .flow import (
+    ComputedOnlyFrom,
+    FlowChecker,
+    FlowPolicy,
+    FlowResult,
+    root_base,
+    stored_bases,
+)
+from .logical import ConstraintAnd, ConstraintOr
+from .solver import SolverStats, detect, detect_brute_force
+from .specfile import SpecFileError, load_spec_file, parse_spec_text
+
+__all__ = [
+    "Constraint",
+    "ConstraintAnd",
+    "ConstraintOr",
+    "IdiomSpec",
+    "SolverContext",
+    "Assignment",
+    "constraint_labels",
+    "CFGEdge",
+    "EndsInUncondBranch",
+    "EndsInCondBranch",
+    "Dominates",
+    "StrictlyDominates",
+    "PostDominates",
+    "StrictlyPostDominates",
+    "Blocked",
+    "SESERegion",
+    "Opcode",
+    "PhiOfTwo",
+    "PhiIncomingFromBlock",
+    "InBlock",
+    "IsConstantLike",
+    "DefDominatesBlock",
+    "Distinct",
+    "Predicate",
+    "FlowPolicy",
+    "FlowChecker",
+    "FlowResult",
+    "ComputedOnlyFrom",
+    "root_base",
+    "stored_bases",
+    "detect",
+    "detect_brute_force",
+    "SolverStats",
+    "load_spec_file",
+    "parse_spec_text",
+    "SpecFileError",
+]

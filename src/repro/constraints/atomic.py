@@ -1,0 +1,472 @@
+"""Atomic constraints — the vocabulary of Fig. 5 and Fig. 7.
+
+Each atom checks one structural fact about bound values and, where
+possible, *proposes* candidates for unbound labels from bound ones —
+e.g. ``CFGEdge`` proposes successors of a bound source block.  Good
+proposals are what make the backtracking search near-linear in
+practice (§3.3).
+"""
+
+from __future__ import annotations
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import BranchInst, Instruction, PhiInst
+from ..ir.values import Argument, Constant, GlobalVariable, Value
+from .core import Assignment, Constraint, SolverContext
+
+
+class CFGEdge(Constraint):
+    """Control can flow directly from block ``a`` to block ``b``."""
+
+    def __init__(self, a: str, b: str):
+        self.labels = (a, b)
+
+    def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        a = assignment[self.labels[0]]
+        b = assignment[self.labels[1]]
+        if not isinstance(a, BasicBlock) or not isinstance(b, BasicBlock):
+            return False
+        return ctx.cfg.has_edge(a, b)
+
+    def propose(self, ctx, assignment, label):
+        a_label, b_label = self.labels
+        if label == b_label and a_label in assignment:
+            source = assignment[a_label]
+            if isinstance(source, BasicBlock):
+                return ctx.cfg.successors.get(source, [])
+            return []
+        if label == a_label and b_label in assignment:
+            target = assignment[b_label]
+            if isinstance(target, BasicBlock):
+                return ctx.cfg.predecessors.get(target, [])
+            return []
+        if label in self.labels:
+            return ctx.blocks()
+        return None
+
+
+class EndsInUncondBranch(Constraint):
+    """Block ``block`` terminates in ``br target`` — Fig. 5's
+    ``x = branch(y)``."""
+
+    def __init__(self, block: str, target: str):
+        self.labels = (block, target)
+
+    @staticmethod
+    def _target_of(block: Value) -> BasicBlock | None:
+        if not isinstance(block, BasicBlock):
+            return None
+        terminator = block.terminator
+        if isinstance(terminator, BranchInst) and not terminator.is_conditional:
+            return terminator.targets()[0]
+        return None
+
+    def check(self, ctx, assignment):
+        target = self._target_of(assignment[self.labels[0]])
+        return target is not None and target is assignment[self.labels[1]]
+
+    def propose(self, ctx, assignment, label):
+        block_label, target_label = self.labels
+        if label == target_label and block_label in assignment:
+            target = self._target_of(assignment[block_label])
+            return [] if target is None else [target]
+        if label == block_label:
+            if target_label in assignment:
+                wanted = assignment[target_label]
+                return [
+                    b for b in ctx.blocks() if self._target_of(b) is wanted
+                ]
+            return [b for b in ctx.blocks() if self._target_of(b) is not None]
+        return None
+
+
+class EndsInCondBranch(Constraint):
+    """Block ends in ``br cond, then, els`` — Fig. 5's
+    ``x = branch(y, z, w)``."""
+
+    def __init__(self, block: str, cond: str, then: str, els: str):
+        self.labels = (block, cond, then, els)
+
+    @staticmethod
+    def _parts(block: Value):
+        if not isinstance(block, BasicBlock):
+            return None
+        terminator = block.terminator
+        if isinstance(terminator, BranchInst) and terminator.is_conditional:
+            then_block, else_block = terminator.targets()
+            return terminator.condition, then_block, else_block
+        return None
+
+    def check(self, ctx, assignment):
+        parts = self._parts(assignment[self.labels[0]])
+        if parts is None:
+            return False
+        return all(
+            parts[i] is assignment[self.labels[i + 1]] for i in range(3)
+        )
+
+    def propose(self, ctx, assignment, label):
+        block_label = self.labels[0]
+        if label == block_label:
+            candidates = [b for b in ctx.blocks() if self._parts(b)]
+            for i in range(3):
+                bound = assignment.get(self.labels[i + 1])
+                if bound is not None:
+                    candidates = [
+                        b for b in candidates if self._parts(b)[i] is bound
+                    ]
+            return candidates
+        if label in self.labels[1:] and block_label in assignment:
+            parts = self._parts(assignment[block_label])
+            if parts is None:
+                return []
+            return [parts[self.labels.index(label) - 1]]
+        return None
+
+
+class Dominates(Constraint):
+    """Block ``a`` dominates block ``b`` in the CFG."""
+
+    strict = False
+    post = False
+
+    def __init__(self, a: str, b: str):
+        self.labels = (a, b)
+
+    def _tree(self, ctx: SolverContext):
+        return ctx.postdom if self.post else ctx.dom
+
+    def check(self, ctx, assignment):
+        a = assignment[self.labels[0]]
+        b = assignment[self.labels[1]]
+        if not isinstance(a, BasicBlock) or not isinstance(b, BasicBlock):
+            return False
+        tree = self._tree(ctx)
+        if self.strict:
+            return tree.strictly_dominates(a, b)
+        return tree.dominates(a, b)
+
+    def propose(self, ctx, assignment, label):
+        if label in self.labels:
+            return ctx.blocks()
+        return None
+
+
+class StrictlyDominates(Dominates):
+    """Strict dominance."""
+
+    strict = True
+
+
+class PostDominates(Dominates):
+    """Post-dominance (dominance in the reversed CFG)."""
+
+    post = True
+
+
+class StrictlyPostDominates(Dominates):
+    """Strict post-dominance."""
+
+    strict = True
+    post = True
+
+
+class Blocked(Constraint):
+    """Every CFG path from ``a`` to ``c`` passes through ``via`` —
+    Fig. 7's ``ConstraintCFGBlocked``."""
+
+    def __init__(self, a: str, via: str, c: str):
+        self.labels = (a, via, c)
+
+    def check(self, ctx, assignment):
+        a = assignment[self.labels[0]]
+        via = assignment[self.labels[1]]
+        c = assignment[self.labels[2]]
+        if not all(isinstance(x, BasicBlock) for x in (a, via, c)):
+            return False
+        return not ctx.cfg.path_exists_avoiding(a, c, via)
+
+
+class SESERegion(Constraint):
+    """``begin`` and ``end`` span a single-entry single-exit region —
+    the ``sese`` arrow of Fig. 5."""
+
+    def __init__(self, begin: str, end: str):
+        self.labels = (begin, end)
+
+    def check(self, ctx, assignment):
+        begin = assignment[self.labels[0]]
+        end = assignment[self.labels[1]]
+        if not isinstance(begin, BasicBlock) or not isinstance(end, BasicBlock):
+            return False
+        return ctx.dom.dominates(begin, end) and ctx.postdom.dominates(
+            end, begin
+        )
+
+    def propose(self, ctx, assignment, label):
+        if label in self.labels:
+            return ctx.blocks()
+        return None
+
+
+class Opcode(Constraint):
+    """``x`` is an instruction with one of the given opcodes, with
+    optional operand labels: ``Opcode("x", "add", ("y", "z"))`` is
+    Fig. 5's ``x = add(y, z)``.
+
+    ``commutative`` allows the two operand labels to match in either
+    order (used for ``add`` and for ``int_comparison``).
+    """
+
+    def __init__(
+        self,
+        x: str,
+        opcodes: str | tuple[str, ...],
+        operands: tuple[str | None, ...] = (),
+        commutative: bool = False,
+    ):
+        self.opcodes = (opcodes,) if isinstance(opcodes, str) else tuple(opcodes)
+        self.operand_labels = tuple(operands)
+        self.commutative = commutative and len(self.operand_labels) == 2
+        labels = [x]
+        labels.extend(l for l in self.operand_labels if l is not None)
+        self.labels = tuple(dict.fromkeys(labels))
+        self.x_label = x
+
+    def _instruction(self, assignment) -> Instruction | None:
+        x = assignment[self.x_label]
+        if isinstance(x, Instruction) and x.opcode in self.opcodes:
+            return x
+        return None
+
+    def _operand_match(self, instruction: Instruction, assignment) -> bool:
+        operands = instruction.operands
+        if self.operand_labels and len(operands) < len(self.operand_labels):
+            return False
+        orders = [self.operand_labels]
+        if self.commutative:
+            orders.append(tuple(reversed(self.operand_labels)))
+        for order in orders:
+            if all(
+                label is None or label not in assignment
+                or operands[i] is assignment[label]
+                for i, label in enumerate(order)
+            ):
+                return True
+        return False
+
+    def check(self, ctx, assignment):
+        instruction = self._instruction(assignment)
+        if instruction is None:
+            return False
+        return self._operand_match(instruction, assignment)
+
+    def partial_check(self, ctx, assignment):
+        if self.x_label not in assignment:
+            return True
+        instruction = self._instruction(assignment)
+        if instruction is None:
+            return False
+        return self._operand_match(instruction, assignment)
+
+    def propose(self, ctx, assignment, label):
+        if label == self.x_label:
+            candidates: list[Value] = []
+            for opcode in self.opcodes:
+                candidates.extend(ctx.instructions_with_opcode(opcode))
+            return [
+                c
+                for c in candidates
+                if self._operand_match(c, assignment)
+            ]
+        if label in self.operand_labels and self.x_label in assignment:
+            instruction = self._instruction(assignment)
+            if instruction is None:
+                return []
+            positions = [
+                i for i, l in enumerate(self.operand_labels) if l == label
+            ]
+            if self.commutative:
+                positions = [0, 1]
+            operands = instruction.operands
+            return [operands[i] for i in positions if i < len(operands)]
+        return None
+
+
+class PhiOfTwo(Constraint):
+    """``x = Φ(a, b)``: a PHI with exactly two incoming values, matching
+    ``a`` and ``b`` in either order (Fig. 5's iterator constraint)."""
+
+    def __init__(self, x: str, a: str, b: str):
+        self.labels = (x, a, b)
+
+    def check(self, ctx, assignment):
+        x = assignment[self.labels[0]]
+        if not isinstance(x, PhiInst) or len(x.incoming) != 2:
+            return False
+        values = x.incoming_values()
+        a = assignment[self.labels[1]]
+        b = assignment[self.labels[2]]
+        return (values[0] is a and values[1] is b) or (
+            values[0] is b and values[1] is a
+        )
+
+    def partial_check(self, ctx, assignment):
+        x = assignment.get(self.labels[0])
+        if x is None:
+            return True
+        if not isinstance(x, PhiInst) or len(x.incoming) != 2:
+            return False
+        values = x.incoming_values()
+        for label in self.labels[1:]:
+            bound = assignment.get(label)
+            if bound is not None and bound not in values:
+                return False
+        return True
+
+    def propose(self, ctx, assignment, label):
+        x_label, a_label, b_label = self.labels
+        if label == x_label:
+            return [
+                p
+                for p in ctx.instructions_with_opcode("phi")
+                if len(p.incoming) == 2
+            ]
+        if x_label in assignment:
+            x = assignment[x_label]
+            if isinstance(x, PhiInst) and len(x.incoming) == 2:
+                return x.incoming_values()
+            return []
+        return None
+
+
+class PhiIncomingFromBlock(Constraint):
+    """The PHI ``phi`` receives ``value`` from predecessor ``block``."""
+
+    def __init__(self, phi: str, value: str, block: str):
+        self.labels = (phi, value, block)
+
+    def check(self, ctx, assignment):
+        phi = assignment[self.labels[0]]
+        if not isinstance(phi, PhiInst):
+            return False
+        value = assignment[self.labels[1]]
+        block = assignment[self.labels[2]]
+        return any(
+            v is value and b is block for v, b in phi.incoming
+        )
+
+    def propose(self, ctx, assignment, label):
+        phi_label, value_label, block_label = self.labels
+        phi = assignment.get(phi_label)
+        if label == phi_label:
+            return ctx.instructions_with_opcode("phi")
+        if not isinstance(phi, PhiInst):
+            return None
+        if label == value_label:
+            block = assignment.get(block_label)
+            if block is not None:
+                return [v for v, b in phi.incoming if b is block]
+            return phi.incoming_values()
+        if label == block_label:
+            value = assignment.get(value_label)
+            if value is not None:
+                return [b for v, b in phi.incoming if v is value]
+            return [b for _, b in phi.incoming]
+        return None
+
+
+class InBlock(Constraint):
+    """Instruction ``x`` lives in block ``block``."""
+
+    def __init__(self, x: str, block: str):
+        self.labels = (x, block)
+
+    def check(self, ctx, assignment):
+        x = assignment[self.labels[0]]
+        block = assignment[self.labels[1]]
+        return isinstance(x, Instruction) and x.parent is block
+
+    def propose(self, ctx, assignment, label):
+        x_label, block_label = self.labels
+        if label == block_label and x_label in assignment:
+            x = assignment[x_label]
+            if isinstance(x, Instruction) and x.parent is not None:
+                return [x.parent]
+            return []
+        if label == x_label and block_label in assignment:
+            block = assignment[block_label]
+            if isinstance(block, BasicBlock):
+                return list(block.instructions)
+            return []
+        return None
+
+
+class IsConstantLike(Constraint):
+    """``x ∈ constant`` from Fig. 5: a compile-time constant, function
+    argument or global — anything fixed before the function runs."""
+
+    def __init__(self, x: str):
+        self.labels = (x,)
+
+    def check(self, ctx, assignment):
+        x = assignment[self.labels[0]]
+        return isinstance(x, (Constant, Argument, GlobalVariable))
+
+    def propose(self, ctx, assignment, label):
+        if label == self.labels[0]:
+            return [
+                v
+                for v in ctx.universe
+                if isinstance(v, (Constant, Argument, GlobalVariable))
+            ]
+        return None
+
+
+class DefDominatesBlock(Constraint):
+    """``x`` is an instruction whose defining block dominates ``block``
+    — Fig. 5's ``x dominate→ entry`` loop-invariance condition."""
+
+    def __init__(self, x: str, block: str):
+        self.labels = (x, block)
+
+    def check(self, ctx, assignment):
+        x = assignment[self.labels[0]]
+        block = assignment[self.labels[1]]
+        if not isinstance(x, Instruction) or not isinstance(block, BasicBlock):
+            return False
+        return x.parent is not None and ctx.dom.dominates(x.parent, block)
+
+
+class Distinct(Constraint):
+    """All bound labels take pairwise distinct values."""
+
+    def __init__(self, *labels: str):
+        self.labels = tuple(labels)
+
+    def check(self, ctx, assignment):
+        values = [assignment[l] for l in self.labels]
+        return len({id(v) for v in values}) == len(values)
+
+    def partial_check(self, ctx, assignment):
+        values = [assignment[l] for l in self.labels if l in assignment]
+        return len({id(v) for v in values}) == len(values)
+
+
+class Predicate(Constraint):
+    """Escape hatch: an arbitrary Python predicate over bound labels.
+
+    Used by idiom specifications for conditions that are cheap to state
+    in Python (e.g. "the bound header actually heads a natural loop").
+    """
+
+    def __init__(self, labels: tuple[str, ...], fn, name: str = "predicate"):
+        self.labels = tuple(labels)
+        self.fn = fn
+        self.name = name
+
+    def check(self, ctx, assignment):
+        return bool(self.fn(ctx, assignment))
+
+    def __repr__(self) -> str:
+        return f"<Predicate {self.name}>"

@@ -1,0 +1,161 @@
+"""Constraint interface and solver context.
+
+The paper (§3.2) describes idiom specifications as a set of labels ``I``
+plus a boolean predicate ``c`` over ``LLVM::Value^I``, built from atomic
+constraints combined with ∧ and ∨.  Detection means enumerating
+
+    { x ∈ values(F)^I  |  c(x) = true }.
+
+:class:`Constraint` is the Python analogue of the paper's abstract C++
+``Constraint`` interface (Fig. 7): every constraint knows
+
+* the ``labels`` it mentions,
+* how to :meth:`~Constraint.check` a full assignment of those labels,
+* how to :meth:`~Constraint.partial_check` an assignment in which only
+  some labels are bound (used by the backtracking solver to prune), and
+* optionally how to :meth:`~Constraint.propose` candidate values for a
+  yet-unbound label — the paper's ``next_solution`` candidate iterator,
+  which is what turns brute-force enumeration into a guided search.
+
+:class:`SolverContext` is the paper's ``FunctionWrapper``: one function
+plus every cached analysis the atomic constraints consult.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..analysis.cfg import CFG
+from ..analysis.controldep import control_dependences
+from ..analysis.dominators import DominatorTree
+from ..analysis.loops import LoopInfo
+from ..analysis.purity import PurityAnalysis
+from ..analysis.scev import ScalarEvolution
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import Instruction
+from ..ir.module import Module
+from ..ir.values import Value
+
+#: A (partial) assignment of labels to IR values.
+Assignment = Mapping[str, Value]
+
+
+class SolverContext:
+    """A function plus cached analyses — the ``FunctionWrapper`` of Fig. 7."""
+
+    def __init__(self, function: Function, module: Module | None = None):
+        self.function = function
+        self.module = module
+        self.cfg = CFG(function)
+        self.dom = DominatorTree.compute(function)
+        self.postdom = DominatorTree.compute_post(function)
+        self.loop_info = LoopInfo(function)
+        self.scev = ScalarEvolution(function, self.loop_info)
+        self.control_deps = control_dependences(function, self.postdom)
+        self.purity = PurityAnalysis(module) if module is not None else None
+        #: ``values(F)`` from §3.2 — the candidate universe.
+        self.universe: list[Value] = function.value_universe()
+        self._by_opcode: dict[str, list[Instruction]] = {}
+        for instruction in function.instructions():
+            self._by_opcode.setdefault(instruction.opcode, []).append(
+                instruction
+            )
+
+    def instructions_with_opcode(self, opcode: str) -> list[Instruction]:
+        """All instructions of the function with the given opcode."""
+        return self._by_opcode.get(opcode, [])
+
+    def blocks(self) -> list[BasicBlock]:
+        """All basic blocks of the function."""
+        return self.function.blocks
+
+    def is_pure_call_target(self, function: Function) -> bool:
+        """Purity of a callee (module-wide analysis when available)."""
+        if self.purity is not None:
+            return self.purity.is_pure(function)
+        return function.pure
+
+
+class Constraint:
+    """Base class of all constraints.
+
+    Subclasses set :attr:`labels` to the tuple of label names they
+    constrain and implement :meth:`check`.
+    """
+
+    labels: tuple[str, ...] = ()
+
+    def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        """Evaluate the constraint; all of ``self.labels`` are bound."""
+        raise NotImplementedError
+
+    def partial_check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        """Evaluate with possibly-unbound labels; True means "may hold".
+
+        The default implementation is the paper's ``c_k`` construction
+        (§3.3): a constraint whose labels are not yet all assigned is
+        replaced by constant true.
+        """
+        if all(label in assignment for label in self.labels):
+            return self.check(ctx, assignment)
+        return True
+
+    def propose(
+        self, ctx: SolverContext, assignment: Assignment, label: str
+    ) -> Iterable[Value] | None:
+        """Candidate values for ``label`` under ``assignment``.
+
+        Returning None means "no specific candidates"; the solver then
+        falls back to other constraints or the full universe.
+        """
+        return None
+
+    # -- composition sugar ----------------------------------------------------
+
+    def __and__(self, other: "Constraint") -> "Constraint":
+        from .logical import ConstraintAnd
+
+        return ConstraintAnd(self, other)
+
+    def __or__(self, other: "Constraint") -> "Constraint":
+        from .logical import ConstraintOr
+
+        return ConstraintOr(self, other)
+
+
+class IdiomSpec:
+    """A named idiom: an ordered label tuple plus its root constraint.
+
+    The label order is the solver's enumeration order; §3.3 notes the
+    choice "will be very important for the runtime behavior", so specs
+    curate it explicitly (each label should be proposable from the
+    labels before it).
+    """
+
+    def __init__(self, name: str, label_order: tuple[str, ...],
+                 constraint: Constraint):
+        self.name = name
+        self.label_order = tuple(label_order)
+        self.constraint = constraint
+        missing = set(constraint_labels(constraint)) - set(self.label_order)
+        if missing:
+            raise ValueError(
+                f"spec {name!r}: labels {sorted(missing)} missing from order"
+            )
+
+    def reordered(self, label_order: tuple[str, ...]) -> "IdiomSpec":
+        """The same spec with a different enumeration order (ablation)."""
+        return IdiomSpec(self.name, label_order, self.constraint)
+
+
+def constraint_labels(constraint: Constraint) -> set[str]:
+    """All labels mentioned anywhere in a constraint tree."""
+    from .logical import ConstraintAnd, ConstraintOr
+
+    if isinstance(constraint, (ConstraintAnd, ConstraintOr)):
+        result: set[str] = set()
+        for child in constraint.children:
+            result |= constraint_labels(child)
+        return result
+    return set(constraint.labels)

@@ -1,0 +1,111 @@
+"""Logical combinators: conjunction and disjunction of constraints.
+
+These correspond to the ``ConstraintAnd``/``ConstraintOr`` classes the
+paper's C++ DSL provides (Fig. 7) and to the ∧/∨ operators of the
+description language (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..ir.values import Value
+from .core import Assignment, Constraint, SolverContext
+
+
+def _flatten(kind, constraints):
+    flat: list[Constraint] = []
+    for constraint in constraints:
+        if isinstance(constraint, kind):
+            flat.extend(constraint.children)
+        else:
+            flat.append(constraint)
+    return flat
+
+
+class ConstraintAnd(Constraint):
+    """Conjunction; proposals are intersected across children."""
+
+    def __init__(self, *children: Constraint):
+        self.children: list[Constraint] = _flatten(ConstraintAnd, children)
+        labels: list[str] = []
+        for child in self.children:
+            from .core import constraint_labels
+
+            for label in constraint_labels(child):
+                if label not in labels:
+                    labels.append(label)
+        self.labels = tuple(labels)
+
+    def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        return all(c.check(ctx, assignment) for c in self.children)
+
+    def partial_check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        return all(c.partial_check(ctx, assignment) for c in self.children)
+
+    def propose(
+        self, ctx: SolverContext, assignment: Assignment, label: str
+    ) -> Iterable[Value] | None:
+        proposals: list[list[Value]] = []
+        for child in self.children:
+            if label not in getattr(child, "labels", ()):  # fast path
+                from .core import constraint_labels
+
+                if label not in constraint_labels(child):
+                    continue
+            candidates = child.propose(ctx, assignment, label)
+            if candidates is not None:
+                proposals.append(list(candidates))
+        if not proposals:
+            return None
+        # Intersect, keeping the order of the smallest proposal.
+        proposals.sort(key=len)
+        result = proposals[0]
+        for other in proposals[1:]:
+            other_ids = {id(v) for v in other}
+            result = [v for v in result if id(v) in other_ids]
+        return result
+
+
+class ConstraintOr(Constraint):
+    """Disjunction.
+
+    A disjunct whose labels are all bound and whose check fails is
+    eliminated; if any disjunct may still hold the Or may hold.
+    Proposals are the union of the children's proposals, and only
+    usable when *every* live child can propose.
+    """
+
+    def __init__(self, *children: Constraint):
+        self.children: list[Constraint] = _flatten(ConstraintOr, children)
+        labels: list[str] = []
+        for child in self.children:
+            from .core import constraint_labels
+
+            for label in constraint_labels(child):
+                if label not in labels:
+                    labels.append(label)
+        self.labels = tuple(labels)
+
+    def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        return any(c.check(ctx, assignment) for c in self.children)
+
+    def partial_check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        return any(c.partial_check(ctx, assignment) for c in self.children)
+
+    def propose(
+        self, ctx: SolverContext, assignment: Assignment, label: str
+    ) -> Iterable[Value] | None:
+        union: list[Value] = []
+        seen: set[int] = set()
+        for child in self.children:
+            if not child.partial_check(ctx, assignment):
+                continue  # disjunct already ruled out
+            candidates = child.propose(ctx, assignment, label)
+            if candidates is None:
+                return None
+            for value in candidates:
+                if id(value) not in seen:
+                    seen.add(id(value))
+                    union.append(value)
+        return union

@@ -1,0 +1,98 @@
+"""The backtracking detection algorithm (Fig. 6 of the paper).
+
+Given an :class:`~repro.constraints.core.IdiomSpec` — a label order
+``i1..in`` and a root constraint ``c`` — :func:`detect` enumerates all
+assignments ``x ∈ values(F)^I`` with ``c(x) = true`` by depth-first
+search: bind the next label to each candidate, prune with the partial
+predicate ``c_k`` (every atom with unbound labels replaced by true),
+recurse.
+
+Candidates for the next label come from constraint *proposals*
+(successors of a bound block, operands of a bound instruction, ...);
+only when nothing proposes does the solver fall back to the whole value
+universe, which is what makes a well-chosen label order crucial (§3.3).
+
+:func:`detect_brute_force` is the exponential §3.2 strawman, kept for
+differential testing and for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..ir.values import Value
+from .core import IdiomSpec, SolverContext
+
+
+@dataclass
+class SolverStats:
+    """Search effort counters, used by the enumeration-order ablation."""
+
+    assignments_tried: int = 0
+    partial_rejections: int = 0
+    solutions: int = 0
+    fallbacks_to_universe: int = 0
+    candidates_per_label: dict[str, int] = field(default_factory=dict)
+
+
+def detect(
+    ctx: SolverContext,
+    spec: IdiomSpec,
+    stats: SolverStats | None = None,
+    limit: int | None = None,
+) -> list[dict[str, Value]]:
+    """All assignments satisfying ``spec`` in ``ctx``'s function."""
+    order = spec.label_order
+    root = spec.constraint
+    results: list[dict[str, Value]] = []
+    assignment: dict[str, Value] = {}
+    stats = stats if stats is not None else SolverStats()
+
+    def recurse(k: int) -> bool:
+        if limit is not None and len(results) >= limit:
+            return False
+        if k == len(order):
+            results.append(dict(assignment))
+            stats.solutions += 1
+            return True
+        label = order[k]
+        candidates = root.propose(ctx, assignment, label)
+        if candidates is None:
+            candidates = ctx.universe
+            stats.fallbacks_to_universe += 1
+        candidates = list(candidates)
+        stats.candidates_per_label[label] = (
+            stats.candidates_per_label.get(label, 0) + len(candidates)
+        )
+        for value in candidates:
+            assignment[label] = value
+            stats.assignments_tried += 1
+            if root.partial_check(ctx, assignment):
+                if not recurse(k + 1):
+                    assignment.pop(label, None)
+                    return False
+            else:
+                stats.partial_rejections += 1
+        assignment.pop(label, None)
+        return True
+
+    recurse(0)
+    return results
+
+
+def detect_brute_force(
+    ctx: SolverContext, spec: IdiomSpec, stats: SolverStats | None = None
+) -> list[dict[str, Value]]:
+    """Enumerate ``values(F)^I`` and filter — exponential, tests only."""
+    order = spec.label_order
+    root = spec.constraint
+    results = []
+    stats = stats if stats is not None else SolverStats()
+    for combo in itertools.product(ctx.universe, repeat=len(order)):
+        stats.assignments_tried += 1
+        assignment = dict(zip(order, combo))
+        if root.check(ctx, assignment):
+            results.append(assignment)
+            stats.solutions += 1
+    return results

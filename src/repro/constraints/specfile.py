@@ -1,0 +1,212 @@
+"""External constraint-specification files (§3.4 future work).
+
+§3.4: *"In the future such specifications may be read from external
+files at runtime, avoiding the need for recompilation to experiment
+with analysis passes."*  This module implements that: a small textual
+language whose statements map 1:1 onto the atomic constraints, loaded
+at runtime into ordinary :class:`~repro.constraints.core.IdiomSpec`
+objects the unmodified solver executes.
+
+Grammar (line oriented; ``#`` and ``;`` start comments)::
+
+    idiom NAME {
+      order: label1 label2 ...
+      ATOM(args) [commutative]
+      ATOM(args) | ATOM(args)        # disjunction
+    }
+
+Atoms::
+
+    edge(a, b)              CFG edge a -> b
+    branch(block, target)   block ends in ``br target``
+    condbranch(b, c, t, e)  block ends in ``br c, t, e``
+    dominates(a, b)         postdominates / strictlydominates /
+                            strictlypostdominates likewise
+    blocked(a, via, c)      every path a->c passes via
+    sese(begin, end)        single-entry single-exit region
+    opcode(x, OP, ops...)   x is an OP instruction with those operands
+                            (`_` skips a position)
+    phi2(x, a, b)           x = Φ(a, b)
+    phiedge(phi, v, block)  v flows into phi from block
+    inblock(x, block)
+    constant(x)             x ∈ constant (constants/arguments/globals)
+    defdom(x, block)        x's definition dominates block
+    invariant(x, block)     shorthand for constant(x) | defdom(x, block)
+    distinct(a, b, ...)
+    naturalloop(header, body, latch, entry, exit)
+"""
+
+from __future__ import annotations
+
+import re
+
+from .atomic import (
+    Blocked,
+    CFGEdge,
+    DefDominatesBlock,
+    Distinct,
+    Dominates,
+    EndsInCondBranch,
+    EndsInUncondBranch,
+    InBlock,
+    IsConstantLike,
+    Opcode,
+    PhiIncomingFromBlock,
+    PhiOfTwo,
+    PostDominates,
+    Predicate,
+    SESERegion,
+    StrictlyDominates,
+    StrictlyPostDominates,
+)
+from .core import Constraint, IdiomSpec
+from .logical import ConstraintAnd, ConstraintOr
+
+
+class SpecFileError(Exception):
+    """Raised on malformed specification files."""
+
+
+_ATOM_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)\((?P<args>[^()]*)\)(?P<flags>(?:\s+\w+)*)$"
+)
+
+
+def _natural_loop_predicate(ctx, assignment):
+    from ..ir.block import BasicBlock
+
+    header = assignment["header"]
+    if not isinstance(header, BasicBlock):
+        return False
+    loop = ctx.loop_info.loop_with_header(header)
+    if loop is None:
+        return False
+    return (
+        assignment["body"] in loop.blocks
+        and assignment["latch"] in loop.blocks
+        and assignment["entry"] not in loop.blocks
+        and assignment["exit"] not in loop.blocks
+    )
+
+
+def _build_atom(name: str, args: list[str], flags: set[str]) -> Constraint:
+    commutative = "commutative" in flags
+    if name == "edge":
+        return CFGEdge(*args)
+    if name == "branch":
+        return EndsInUncondBranch(*args)
+    if name == "condbranch":
+        return EndsInCondBranch(*args)
+    if name == "dominates":
+        return Dominates(*args)
+    if name == "postdominates":
+        return PostDominates(*args)
+    if name == "strictlydominates":
+        return StrictlyDominates(*args)
+    if name == "strictlypostdominates":
+        return StrictlyPostDominates(*args)
+    if name == "blocked":
+        return Blocked(*args)
+    if name == "sese":
+        return SESERegion(*args)
+    if name == "opcode":
+        if len(args) < 2:
+            raise SpecFileError("opcode(x, OP, ...) needs two arguments")
+        x, op, *operands = args
+        labels = tuple(None if o == "_" else o for o in operands)
+        return Opcode(x, op, labels, commutative=commutative)
+    if name == "phi2":
+        return PhiOfTwo(*args)
+    if name == "phiedge":
+        return PhiIncomingFromBlock(*args)
+    if name == "inblock":
+        return InBlock(*args)
+    if name == "constant":
+        return IsConstantLike(*args)
+    if name == "defdom":
+        return DefDominatesBlock(*args)
+    if name == "invariant":
+        value, block = args
+        return ConstraintOr(
+            IsConstantLike(value), DefDominatesBlock(value, block)
+        )
+    if name == "distinct":
+        return Distinct(*args)
+    if name == "naturalloop":
+        expected = ("header", "body", "latch", "entry", "exit")
+        if tuple(args) != expected:
+            raise SpecFileError(
+                f"naturalloop expects labels {expected}, got {tuple(args)}"
+            )
+        return Predicate(expected, _natural_loop_predicate,
+                         name="natural-loop")
+    raise SpecFileError(f"unknown atom {name!r}")
+
+
+def _parse_statement(line: str) -> Constraint:
+    disjuncts = [part.strip() for part in line.split("|")]
+    constraints = []
+    for disjunct in disjuncts:
+        match = _ATOM_RE.match(disjunct)
+        if match is None:
+            raise SpecFileError(f"cannot parse statement: {line!r}")
+        args = [a.strip() for a in match.group("args").split(",")
+                if a.strip()]
+        flags = set(match.group("flags").split())
+        constraints.append(_build_atom(match.group("name"), args, flags))
+    if len(constraints) == 1:
+        return constraints[0]
+    return ConstraintOr(*constraints)
+
+
+def parse_spec_text(text: str) -> dict[str, IdiomSpec]:
+    """Parse specification source into named idiom specs."""
+    specs: dict[str, IdiomSpec] = {}
+    current_name: str | None = None
+    order: tuple[str, ...] | None = None
+    constraints: list[Constraint] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#")[0].split(";")[0].strip()
+        if not line:
+            continue
+        header = re.match(r"^idiom\s+(?P<name>[\w\-]+)\s*\{$", line)
+        if header:
+            if current_name is not None:
+                raise SpecFileError("nested idiom blocks are not allowed")
+            current_name = header.group("name")
+            order = None
+            constraints = []
+            continue
+        if line == "}":
+            if current_name is None:
+                raise SpecFileError("unmatched '}'")
+            if order is None:
+                raise SpecFileError(
+                    f"idiom {current_name!r} has no order: line"
+                )
+            if not constraints:
+                raise SpecFileError(
+                    f"idiom {current_name!r} has no constraints"
+                )
+            specs[current_name] = IdiomSpec(
+                current_name, order, ConstraintAnd(*constraints)
+            )
+            current_name = None
+            continue
+        if current_name is None:
+            raise SpecFileError(f"statement outside idiom block: {line!r}")
+        if line.startswith("order:"):
+            order = tuple(line[len("order:"):].split())
+            continue
+        constraints.append(_parse_statement(line))
+
+    if current_name is not None:
+        raise SpecFileError(f"unterminated idiom {current_name!r}")
+    return specs
+
+
+def load_spec_file(path: str) -> dict[str, IdiomSpec]:
+    """Load idiom specifications from a file."""
+    with open(path) as handle:
+        return parse_spec_text(handle.read())

@@ -1,0 +1,41 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+* ``discovery``   — Figure 8a/8b/8c (+ §6.1 totals)
+* ``scops``       — Figures 9-11 (+ §6.1 SCoP statistics)
+* ``coverage``    — Figures 12-14 (+ §6.2 headline numbers)
+* ``speedup``     — Figure 15 (+ §6.3 numbers)
+* ``compile_time``— §6.1 detection cost
+* ``paper``       — every number the paper states, for comparison
+"""
+
+from . import compile_time, coverage, discovery, paper, render, scops, speedup
+from .compile_time import CompileTimeResult, run_compile_time
+from .coverage import CoverageResult, run_all_coverage, run_coverage
+from .discovery import DiscoveryResult, run_all_discovery, run_discovery
+from .scops import ScopResult, run_all_scops, run_scops
+from .speedup import SpeedupResult, SpeedupRow, evaluate_benchmark, run_figure15
+
+__all__ = [
+    "paper",
+    "render",
+    "discovery",
+    "scops",
+    "coverage",
+    "speedup",
+    "compile_time",
+    "run_discovery",
+    "run_all_discovery",
+    "DiscoveryResult",
+    "run_scops",
+    "run_all_scops",
+    "ScopResult",
+    "run_coverage",
+    "run_all_coverage",
+    "CoverageResult",
+    "run_figure15",
+    "evaluate_benchmark",
+    "SpeedupResult",
+    "SpeedupRow",
+    "run_compile_time",
+    "CompileTimeResult",
+]

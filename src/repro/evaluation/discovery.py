@@ -1,0 +1,119 @@
+"""Experiment fig8a/fig8b/fig8c: reductions detected per benchmark.
+
+For every program of a suite, runs our constraint-based detector plus
+the icc and Polly baseline models, and reports the per-benchmark counts
+that Figure 8 plots, together with the §6.1 totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import icc, polly
+from ..idioms import find_reductions
+from ..workloads import suite
+from . import paper
+from .render import table
+
+
+@dataclass
+class DiscoveryRow:
+    """One benchmark's detection outcome across tools."""
+
+    benchmark: str
+    ours_scalars: int
+    ours_histograms: int
+    icc: int
+    polly: int
+    expected_ok: bool
+
+
+@dataclass
+class DiscoveryResult:
+    """One suite's Figure 8 panel."""
+
+    suite: str
+    rows: list[DiscoveryRow] = field(default_factory=list)
+
+    @property
+    def totals(self) -> tuple[int, int, int, int]:
+        """(ours scalar, ours histogram, icc, polly) suite totals."""
+        return (
+            sum(r.ours_scalars for r in self.rows),
+            sum(r.ours_histograms for r in self.rows),
+            sum(r.icc for r in self.rows),
+            sum(r.polly for r in self.rows),
+        )
+
+    def render(self) -> str:
+        """The Figure 8 panel as a table."""
+        rows = [
+            [r.benchmark, r.ours_scalars, r.ours_histograms, r.icc,
+             r.polly, "ok" if r.expected_ok else "MISMATCH"]
+            for r in self.rows
+        ]
+        scalars, histograms, icc_total, polly_total = self.totals
+        rows.append(
+            ["TOTAL", scalars, histograms, icc_total, polly_total, ""]
+        )
+        return table(
+            ["benchmark", "scalar", "histogram", "icc", "polly", "check"],
+            rows,
+            title=f"Figure 8 ({self.suite}): reductions detected",
+        )
+
+
+def run_discovery(suite_name: str) -> DiscoveryResult:
+    """Reproduce one panel of Figure 8."""
+    result = DiscoveryResult(suite_name)
+    for program in suite(suite_name):
+        module = program.compile()
+        report = find_reductions(module)
+        scalars, histograms = report.counts()
+        icc_count = icc.detected_reduction_count(module)
+        polly_count = len(polly.analyze_module(module).reductions)
+        expectation = program.expectation
+        result.rows.append(
+            DiscoveryRow(
+                benchmark=program.name,
+                ours_scalars=scalars,
+                ours_histograms=histograms,
+                icc=icc_count,
+                polly=polly_count,
+                expected_ok=(
+                    scalars == expectation.ours_scalars
+                    and histograms == expectation.ours_histograms
+                    and icc_count == expectation.icc
+                    and polly_count == expectation.polly_reductions
+                ),
+            )
+        )
+    return result
+
+
+def run_all_discovery() -> dict[str, DiscoveryResult]:
+    """All three Figure 8 panels."""
+    return {name: run_discovery(name) for name in
+            ("NAS", "Parboil", "Rodinia")}
+
+
+def summary_against_paper(results: dict[str, DiscoveryResult]) -> str:
+    """Paper-vs-measured totals (§6.1)."""
+    scalars = sum(r.totals[0] for r in results.values())
+    histograms = sum(r.totals[1] for r in results.values())
+    rows = [
+        ["scalar reductions (ours)", paper.TOTAL_SCALAR_REDUCTIONS, scalars],
+        ["histogram reductions (ours)", paper.TOTAL_HISTOGRAM_REDUCTIONS,
+         histograms],
+    ]
+    for suite_name, result in results.items():
+        rows.append(
+            [f"icc reductions ({suite_name})",
+             paper.ICC_PER_SUITE[suite_name], result.totals[2]]
+        )
+        rows.append(
+            [f"Polly reductions ({suite_name})",
+             paper.POLLY_PER_SUITE[suite_name], result.totals[3]]
+        )
+    return table(["quantity", "paper", "measured"], rows,
+                 title="§6.1 totals: paper vs measured")

@@ -1,0 +1,54 @@
+"""Plain-text rendering of experiment results (tables and bar charts)."""
+
+from __future__ import annotations
+
+
+def table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width table with a separator under the header."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(v) for v in row])
+    widths = [
+        max(len(row[col]) for row in cells) for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        cell.ljust(width) for cell, width in zip(cells[0], widths)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells[1:]:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: list[str],
+    values: list[float],
+    title: str = "",
+    width: int = 40,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Horizontal ASCII bar chart (linear scale)."""
+    peak = max(values) if values else 1.0
+    peak = peak or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(
+            f"{label.rjust(label_width)} |{bar} {fmt.format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if value is None:
+        return "-"
+    return str(value)

@@ -1,0 +1,119 @@
+"""Experiment fig9/fig10/fig11: SCoPs per benchmark (Polly baseline).
+
+Reports, per program, how many static control parts the Polly model
+finds and how many of them contain reductions — plus the §6.1 suite
+statistics (23 of 40 programs with zero SCoPs; the four NAS stencil
+codes holding 59.6% of all SCoPs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines import polly
+from ..workloads import suite
+from . import paper
+from .render import table
+
+
+@dataclass
+class ScopRow:
+    """One benchmark's SCoP population."""
+
+    benchmark: str
+    scops: int
+    reduction_scops: int
+    expected_ok: bool
+
+    @property
+    def other_scops(self) -> int:
+        """SCoPs not carrying reductions (the grey bars of Fig. 9-11)."""
+        return self.scops - self.reduction_scops
+
+
+@dataclass
+class ScopResult:
+    """One suite's Figure 9/10/11 panel."""
+
+    suite: str
+    rows: list[ScopRow] = field(default_factory=list)
+
+    @property
+    def total_scops(self) -> int:
+        """All SCoPs in the suite."""
+        return sum(r.scops for r in self.rows)
+
+    @property
+    def zero_scop_programs(self) -> int:
+        """Programs in which Polly finds nothing."""
+        return sum(1 for r in self.rows if r.scops == 0)
+
+    def render(self) -> str:
+        """The panel as a table."""
+        rows = [
+            [r.benchmark, r.reduction_scops, r.other_scops, r.scops,
+             "ok" if r.expected_ok else "MISMATCH"]
+            for r in self.rows
+        ]
+        rows.append(["TOTAL", sum(r.reduction_scops for r in self.rows),
+                     sum(r.other_scops for r in self.rows),
+                     self.total_scops, ""])
+        return table(
+            ["benchmark", "reduction SCoPs", "other SCoPs", "total",
+             "check"],
+            rows,
+            title=f"Figures 9-11 ({self.suite}): SCoPs found by Polly",
+        )
+
+
+def run_scops(suite_name: str) -> ScopResult:
+    """Reproduce one SCoP panel."""
+    result = ScopResult(suite_name)
+    for program in suite(suite_name):
+        module = program.compile()
+        report = polly.analyze_module(module)
+        scops, reduction_scops = report.counts()
+        expectation = program.expectation
+        result.rows.append(
+            ScopRow(
+                benchmark=program.name,
+                scops=scops,
+                reduction_scops=reduction_scops,
+                expected_ok=(
+                    scops == expectation.scops
+                    and reduction_scops == expectation.reduction_scops
+                ),
+            )
+        )
+    return result
+
+
+def run_all_scops() -> dict[str, ScopResult]:
+    """All three SCoP panels."""
+    return {name: run_scops(name) for name in ("NAS", "Parboil", "Rodinia")}
+
+
+def summary_against_paper(results: dict[str, ScopResult]) -> str:
+    """The §6.1 SCoP statistics, paper vs measured."""
+    total = sum(r.total_scops for r in results.values())
+    zero = sum(r.zero_scop_programs for r in results.values())
+    nas = results["NAS"]
+    stencils = sum(
+        r.scops for r in nas.rows if r.benchmark in ("LU", "BT", "SP", "MG")
+    )
+    rows = [
+        ["total SCoPs", paper.TOTAL_SCOPS, total],
+        ["programs with zero SCoPs", paper.ZERO_SCOP_PROGRAMS, zero],
+        ["SCoPs in LU/BT/SP/MG", paper.STENCIL_PROGRAM_SCOPS, stencils],
+        ["stencil share of all SCoPs",
+         paper.STENCIL_SCOP_FRACTION,
+         round(stencils / total, 3) if total else 0.0],
+    ]
+    for suite_name, result in results.items():
+        rows.append(
+            [f"zero-SCoP fraction ({suite_name})",
+             paper.ZERO_SCOP_FRACTION[suite_name],
+             round(result.zero_scop_programs / len(result.rows), 3)]
+        )
+    return table(["quantity", "paper", "measured"], rows,
+                 title="§6.1 SCoP statistics: paper vs measured")

@@ -1,0 +1,259 @@
+"""Abstract syntax tree of the mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CType:
+    """A mini-C type: base name, pointer depth and array dimensions.
+
+    ``base`` is ``int``, ``double`` or ``void`` (the parser folds
+    ``long``→``int`` and ``float``→``double``, documented in DESIGN.md).
+    ``dims`` are the array dimensions (ints once resolved by sema).
+    """
+
+    base: str
+    pointer: int = 0
+    dims: tuple = ()
+
+    def is_array(self) -> bool:
+        """True if this type carries array dimensions."""
+        return bool(self.dims)
+
+    def is_pointer(self) -> bool:
+        """True for explicit pointer types."""
+        return self.pointer > 0
+
+    def scalar(self) -> "CType":
+        """The element type with pointers/dims stripped."""
+        return CType(self.base)
+
+    def __str__(self) -> str:
+        text = self.base + "*" * self.pointer
+        for dim in self.dims:
+            text += f"[{dim}]"
+        return text
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    """Base class of expressions; ``line`` is for diagnostics."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass
+class FloatLit(Expr):
+    """Floating point literal."""
+
+    value: float
+
+
+@dataclass
+class Var(Expr):
+    """Reference to a named variable."""
+
+    name: str
+
+
+@dataclass
+class Index(Expr):
+    """Array subscript ``base[i0][i1]...``; indices in source order."""
+
+    base: Expr
+    indices: list[Expr]
+
+
+@dataclass
+class Call(Expr):
+    """Function call by name."""
+
+    name: str
+    args: list[Expr]
+
+
+@dataclass
+class Binary(Expr):
+    """Binary operation (arithmetic, comparison, logical)."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass
+class Unary(Expr):
+    """Unary ``-``, ``!`` or ``~``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Ternary(Expr):
+    """Conditional expression ``cond ? a : b``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass
+class CastExpr(Expr):
+    """Explicit cast ``(type) expr``."""
+
+    target: CType
+    operand: Expr
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class of statements."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    """Brace-enclosed statement list."""
+
+    statements: list[Stmt]
+
+
+@dataclass
+class VarDecl(Stmt):
+    """Local variable declaration with optional initializer."""
+
+    name: str
+    type: CType
+    init: Expr | None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    """Expression evaluated for side effects (typically a call)."""
+
+    expr: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment; ``op`` is ``=``, ``+=``, ``-=``, ``*=``, ``/=``, ``%=``."""
+
+    target: Expr
+    op: str
+    value: Expr
+
+
+@dataclass
+class IncDec(Stmt):
+    """``target++`` or ``target--`` as a statement."""
+
+    target: Expr
+    op: str
+
+
+@dataclass
+class If(Stmt):
+    """Conditional with optional else branch."""
+
+    cond: Expr
+    then: Stmt
+    orelse: Stmt | None
+
+
+@dataclass
+class For(Stmt):
+    """C for loop; init/step are statements, either may be None."""
+
+    init: Stmt | None
+    cond: Expr | None
+    step: Stmt | None
+    body: Stmt
+
+
+@dataclass
+class While(Stmt):
+    """While loop."""
+
+    cond: Expr
+    body: Stmt
+
+
+@dataclass
+class Break(Stmt):
+    """Break out of the innermost loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """Jump to the innermost loop's increment/condition."""
+
+
+@dataclass
+class Return(Stmt):
+    """Function return with optional value."""
+
+    value: Expr | None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    """Formal function parameter."""
+
+    name: str
+    type: CType
+
+
+@dataclass
+class FuncDef:
+    """Function definition (or declaration when ``body`` is None)."""
+
+    name: str
+    return_type: CType
+    params: list[Param]
+    body: Block | None
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    """Global scalar or array declaration."""
+
+    name: str
+    type: CType
+    init: Expr | None
+    is_const: bool
+    line: int = 0
+
+
+@dataclass
+class Program:
+    """A full translation unit."""
+
+    globals: list[GlobalVar]
+    functions: list[FuncDef]

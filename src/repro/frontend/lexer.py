@@ -1,0 +1,171 @@
+"""Lexer for the mini-C language.
+
+The corpus programs (``repro.workloads``) are written in a C subset
+large enough to express the paper's benchmark kernels: functions,
+global arrays, ``for``/``while``/``if``, calls to math intrinsics,
+compound assignment and multi-dimensional array indexing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "float",
+        "double",
+        "void",
+        "if",
+        "else",
+        "for",
+        "while",
+        "return",
+        "const",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character operators, longest first so maximal munch works.
+_MULTI_OPS = (
+    "<<=",
+    ">>=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "++",
+    "--",
+    "<<",
+    ">>",
+)
+
+_SINGLE_OPS = "+-*/%<>=!&|^~?:;,(){}[]"
+
+
+class LexerError(Exception):
+    """Raised on malformed input, with line/column context."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is ``ident``, ``int``, ``float``, ``keyword``, ``op`` or
+    ``eof``; ``text`` is the exact source spelling.
+    """
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, text: str) -> bool:
+        """True if this is the operator/punctuator ``text``."""
+        return self.kind == "op" and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        """True if this is the keyword ``text``."""
+        return self.kind == "keyword" and self.text == text
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convert ``source`` into a token list ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    index = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        char = source[index]
+        if char in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", index):
+            end = source.find("\n", index)
+            advance((end - index) if end != -1 else (length - index))
+            continue
+        if source.startswith("/*", index):
+            end = source.find("*/", index + 2)
+            if end == -1:
+                raise LexerError("unterminated block comment", line, column)
+            advance(end + 2 - index)
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (
+                source[index].isalnum() or source[index] == "_"
+            ):
+                index += 1
+            text = source[start:index]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += index - start
+            continue
+        if char.isdigit() or (
+            char == "." and index + 1 < length and source[index + 1].isdigit()
+        ):
+            start = index
+            is_float = False
+            while index < length and source[index].isdigit():
+                index += 1
+            if index < length and source[index] == ".":
+                is_float = True
+                index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            if index < length and source[index] in "eE":
+                is_float = True
+                index += 1
+                if index < length and source[index] in "+-":
+                    index += 1
+                while index < length and source[index].isdigit():
+                    index += 1
+            text = source[start:index]
+            tokens.append(
+                Token("float" if is_float else "int", text, line, column)
+            )
+            column += index - start
+            continue
+        matched = False
+        for op in _MULTI_OPS:
+            if source.startswith(op, index):
+                tokens.append(Token("op", op, line, column))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_OPS:
+            tokens.append(Token("op", char, line, column))
+            advance(1)
+            continue
+        raise LexerError(f"unexpected character {char!r}", line, column)
+
+    tokens.append(Token("eof", "", line, column))
+    return tokens

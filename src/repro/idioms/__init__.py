@@ -1,0 +1,71 @@
+"""Idiom specifications: for loops, scalar reductions, histograms."""
+
+from .detect import (
+    find_for_loops,
+    find_reductions,
+    find_reductions_in_function,
+)
+from .extensions import (
+    ExtendedReport,
+    argminmax_spec,
+    dot_product_spec,
+    find_extended_reductions,
+    nested_array_reduction_spec,
+)
+from .forloop import (
+    FOR_LOOP_LABEL_ORDER,
+    ForLoopMatch,
+    for_loop_constraint,
+    for_loop_spec,
+)
+from .histogram import HISTOGRAM_LABEL_ORDER, histogram_constraint, histogram_spec
+from .postprocess import (
+    accumulator_confined,
+    alias_checks_for,
+    base_memory_ops_confined,
+    classify_update,
+)
+from .reports import (
+    AliasCheck,
+    DetectionReport,
+    FunctionReductions,
+    HistogramReduction,
+    ReductionOp,
+    ScalarReduction,
+)
+from .scalar_reduction import (
+    SCALAR_REDUCTION_LABEL_ORDER,
+    scalar_reduction_constraint,
+    scalar_reduction_spec,
+)
+
+__all__ = [
+    "find_reductions",
+    "find_reductions_in_function",
+    "find_for_loops",
+    "for_loop_spec",
+    "for_loop_constraint",
+    "ForLoopMatch",
+    "FOR_LOOP_LABEL_ORDER",
+    "scalar_reduction_spec",
+    "scalar_reduction_constraint",
+    "SCALAR_REDUCTION_LABEL_ORDER",
+    "histogram_spec",
+    "histogram_constraint",
+    "HISTOGRAM_LABEL_ORDER",
+    "classify_update",
+    "accumulator_confined",
+    "base_memory_ops_confined",
+    "alias_checks_for",
+    "DetectionReport",
+    "FunctionReductions",
+    "ScalarReduction",
+    "HistogramReduction",
+    "ReductionOp",
+    "AliasCheck",
+    "find_extended_reductions",
+    "ExtendedReport",
+    "dot_product_spec",
+    "argminmax_spec",
+    "nested_array_reduction_spec",
+]

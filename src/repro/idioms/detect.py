@@ -1,0 +1,220 @@
+"""Top-level reduction detection driver.
+
+``find_reductions(module)`` runs the scalar-reduction and histogram
+idiom specifications over every function, post-processes the solver
+matches (associativity classification, accumulator confinement,
+privatization safety, alias check generation) and returns a
+:class:`~repro.idioms.reports.DetectionReport`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..constraints import FlowChecker, FlowPolicy, SolverContext, detect
+from ..constraints.flow import root_base
+from ..ir.function import Function
+from ..ir.module import Module
+from .forloop import for_loop_spec
+from .histogram import histogram_spec
+from .postprocess import (
+    accumulator_confined,
+    alias_checks_for,
+    base_memory_ops_confined,
+    classify_update,
+)
+from .reports import (
+    DetectionReport,
+    FunctionReductions,
+    HistogramReduction,
+    ReductionOp,
+    ScalarReduction,
+)
+from .scalar_reduction import scalar_reduction_spec
+
+_SCALAR_SPEC = scalar_reduction_spec()
+_HISTOGRAM_SPEC = histogram_spec()
+_FORLOOP_SPEC = for_loop_spec()
+
+
+def find_reductions_in_function(
+    function: Function, module: Module | None = None
+) -> FunctionReductions:
+    """Detect and post-process all reductions of one function."""
+    ctx = SolverContext(function, module)
+    result = FunctionReductions(function)
+
+    seen_scalars: set[tuple[int, int]] = set()
+    for assignment in detect(ctx, _SCALAR_SPEC):
+        key = (id(assignment["header"]), id(assignment["acc"]))
+        if key in seen_scalars:
+            continue
+        record = _build_scalar(ctx, assignment)
+        if record is not None:
+            seen_scalars.add(key)
+            result.scalars.append(record)
+
+    seen_histograms: set[tuple[int, int]] = set()
+    for assignment in detect(ctx, _HISTOGRAM_SPEC):
+        key = (id(assignment["header"]), id(assignment["hist_store"]))
+        if key in seen_histograms:
+            continue
+        record = _build_histogram(ctx, assignment)
+        if record is not None:
+            seen_histograms.add(key)
+            result.histograms.append(record)
+
+    return result
+
+
+def find_reductions(module: Module) -> DetectionReport:
+    """Detect reductions in every defined function of ``module``."""
+    report = DetectionReport(module.name)
+    started = time.perf_counter()
+    for function in module.defined_functions():
+        report.functions.append(find_reductions_in_function(function, module))
+    report.solve_seconds = time.perf_counter() - started
+    return report
+
+
+def find_for_loops(function: Function, module: Module | None = None):
+    """All canonical for-loop matches in one function (Fig. 5 alone)."""
+    from .forloop import ForLoopMatch
+
+    ctx = SolverContext(function, module)
+    matches = []
+    seen: set[int] = set()
+    for assignment in detect(ctx, _FORLOOP_SPEC):
+        key = id(assignment["header"])
+        if key in seen:
+            continue
+        seen.add(key)
+        matches.append(ForLoopMatch.from_assignment(ctx, assignment))
+    return matches
+
+
+# -- record construction -------------------------------------------------------
+
+
+def _build_scalar(ctx: SolverContext, assignment) -> ScalarReduction | None:
+    header = assignment["header"]
+    loop = ctx.loop_info.loop_with_header(header)
+    acc = assignment["acc"]
+    update = assignment["acc_update"]
+    iterator = assignment["iterator"]
+
+    op = classify_update(acc, update)
+    if op is None:
+        return None
+
+    checker = FlowChecker(ctx, loop, exempt_blocks=(header,))
+    data = FlowPolicy(
+        extra_sources=(acc,),
+        rejected=(iterator,),
+        index_sources=(iterator,),
+        require_affine_index=True,
+    )
+    control = FlowPolicy(
+        rejected=(iterator, acc),
+        index_sources=(iterator,),
+        require_affine_index=True,
+    )
+    flow = checker.check(update, data, control)
+    if not flow.ok:
+        return None
+    if not accumulator_confined(loop, acc, flow.visited):
+        return None
+
+    input_bases = []
+    seen_bases: set[int] = set()
+    for load in flow.loads:
+        base = root_base(load.pointer)
+        if id(base) not in seen_bases:
+            seen_bases.add(id(base))
+            input_bases.append(base)
+    return ScalarReduction(
+        function=ctx.function,
+        loop=loop,
+        header=header,
+        iterator=iterator,
+        acc=acc,
+        acc_init=assignment["acc_init"],
+        acc_update=update,
+        op=op,
+        input_bases=input_bases,
+        input_loads=list(flow.loads),
+    )
+
+
+def _build_histogram(ctx: SolverContext, assignment) -> HistogramReduction | None:
+    header = assignment["header"]
+    loop = ctx.loop_info.loop_with_header(header)
+    base = assignment["base"]
+    idx = assignment["idx"]
+    hist_load = assignment["hist_load"]
+    hist_store = assignment["hist_store"]
+    update = assignment["update"]
+    iterator = assignment["iterator"]
+
+    op = classify_update(hist_load, update)
+    if op is None:
+        return None
+    if not base_memory_ops_confined(loop, base, hist_load, hist_store):
+        return None
+
+    checker = FlowChecker(ctx, loop, exempt_blocks=(header,))
+    data = FlowPolicy(
+        extra_sources=(hist_load,),
+        rejected=(iterator,),
+        forbidden_bases=(base,),
+        index_sources=(iterator,),
+    )
+    control = FlowPolicy(
+        rejected=(iterator, hist_load),
+        forbidden_bases=(base,),
+        index_sources=(iterator,),
+    )
+    flow = checker.check(update, data, control)
+    if not flow.ok:
+        return None
+    if not accumulator_confined(
+        loop, hist_load, flow.visited, allowed_users=(hist_store,)
+    ):
+        return None
+
+    idx_flow = checker.check(
+        idx,
+        FlowPolicy(
+            rejected=(iterator,),
+            forbidden_bases=(base,),
+            index_sources=(iterator,),
+        ),
+    )
+    if not idx_flow.ok:
+        return None
+
+    scev = ctx.scev
+    idx_affine = scev.affine_at(idx, loop) is not None
+
+    input_bases = []
+    seen_bases: set[int] = set()
+    for load in list(flow.loads) + list(idx_flow.loads):
+        load_base = root_base(load.pointer)
+        if id(load_base) not in seen_bases:
+            seen_bases.add(id(load_base))
+            input_bases.append(load_base)
+    return HistogramReduction(
+        function=ctx.function,
+        loop=loop,
+        header=header,
+        iterator=iterator,
+        base=base,
+        idx=idx,
+        hist_load=hist_load,
+        hist_store=hist_store,
+        update=update,
+        op=op,
+        idx_affine=idx_affine,
+        input_bases=input_bases,
+        runtime_checks=alias_checks_for(base, input_bases),
+    )

@@ -1,0 +1,441 @@
+"""Idiom extensions beyond the paper's evaluation (§8 future work).
+
+The paper closes with: *"Future work will extend the constraint
+formulation to consider other commonly occurring computational
+idioms."*  This module demonstrates that the decoupled design delivers
+on that promise — three further idioms written purely in the constraint
+DSL, run by the unmodified solver:
+
+* :func:`dot_product_spec` — ``acc += a[i] * b[i]`` over two distinct
+  arrays (the BLAS-mapping use case of §1);
+* :func:`argminmax_spec` — guarded best-value/best-index tracking
+  (kmeans' inner loop), which is *not* a simple reduction (the guard
+  reads the accumulator) and is correctly rejected by the base scalar
+  spec;
+* :func:`nested_array_reduction_spec` — the SP ``rms[m]`` pattern the
+  paper's tool misses (§6.1: "when the reduction loop was not the
+  innermost loop"): a read-modify-write whose store sits in an inner
+  loop and whose address is indexed by inner iterators only, making
+  the *outer* loop privatizable.
+
+:func:`find_extended_reductions` runs all three on a module.  The
+default :func:`~repro.idioms.detect.find_reductions` driver is left
+untouched so the paper-faithful counts of Figure 8 stay exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constraints import (
+    Assignment,
+    ComputedOnlyFrom,
+    ConstraintAnd,
+    Distinct,
+    FlowPolicy,
+    IdiomSpec,
+    InBlock,
+    Opcode,
+    PhiIncomingFromBlock,
+    PhiOfTwo,
+    Predicate,
+    SolverContext,
+    detect,
+)
+from ..ir.block import BasicBlock
+from ..ir.function import Function
+from ..ir.instructions import FCmpInst, ICmpInst, PhiInst, StoreInst
+from ..ir.module import Module
+from ..ir.values import Value
+from .forloop import (
+    FOR_LOOP_LABEL_ORDER,
+    for_loop_constraint,
+    loop_invariant_in,
+)
+from .postprocess import classify_update
+from .reports import ReductionOp
+
+# ---------------------------------------------------------------------------
+# Dot product
+# ---------------------------------------------------------------------------
+
+DOT_PRODUCT_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
+    "acc", "update", "acc_init", "product", "load_a", "load_b",
+    "gep_a", "gep_b", "base_a", "base_b",
+)
+
+
+def _scalar_policies(ctx: SolverContext, assignment: Assignment):
+    acc = assignment["acc"]
+    iterator = assignment["iterator"]
+    data = FlowPolicy(extra_sources=(acc,), rejected=(iterator,),
+                      index_sources=(iterator,), require_affine_index=True)
+    control = FlowPolicy(rejected=(iterator, acc),
+                         index_sources=(iterator,),
+                         require_affine_index=True)
+    return data, control
+
+
+def dot_product_spec() -> IdiomSpec:
+    """``acc' = acc + a[i] * b[i]`` with two distinct arrays."""
+    constraint = ConstraintAnd(
+        for_loop_constraint(),
+        PhiOfTwo("acc", "update", "acc_init"),
+        InBlock("acc", "header"),
+        PhiIncomingFromBlock("acc", "update", "latch"),
+        PhiIncomingFromBlock("acc", "acc_init", "entry"),
+        loop_invariant_in("acc_init", "entry"),
+        Opcode("update", "fadd", ("acc", "product"), commutative=True),
+        Opcode("product", "fmul", ("load_a", "load_b"), commutative=True),
+        Opcode("load_a", "load", ("gep_a",)),
+        Opcode("load_b", "load", ("gep_b",)),
+        Opcode("gep_a", "gep", ("base_a", None)),
+        Opcode("gep_b", "gep", ("base_b", None)),
+        Distinct("base_a", "base_b"),
+        Distinct("acc", "iterator"),
+        ComputedOnlyFrom("update", "header", _scalar_policies,
+                         extra_labels=("acc", "iterator")),
+    )
+    return IdiomSpec("dot-product", DOT_PRODUCT_LABEL_ORDER, constraint)
+
+
+@dataclass
+class DotProductMatch:
+    """One detected dot product."""
+
+    function: Function
+    header: BasicBlock
+    acc: PhiInst
+    base_a: Value
+    base_b: Value
+
+    @property
+    def name(self) -> str:
+        """Stable identifier."""
+        return (
+            f"{self.function.name}:{self.header.name}:"
+            f"{self.base_a.short_name()}x{self.base_b.short_name()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Argmin / argmax
+# ---------------------------------------------------------------------------
+
+ARGMINMAX_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
+    "best", "best_update", "best_init",
+    "candidate",
+    "pos", "pos_update", "pos_init", "pos_candidate",
+    "cmp",
+)
+
+
+def _is_strict_comparison(ctx: SolverContext, assignment: Assignment) -> bool:
+    cmp = assignment["cmp"]
+    if isinstance(cmp, (FCmpInst, ICmpInst)):
+        return cmp.predicate in ("olt", "ogt", "slt", "sgt", "ole",
+                                 "oge", "sle", "sge")
+    return False
+
+
+def _phis_in_same_join(ctx: SolverContext, assignment: Assignment) -> bool:
+    best = assignment["best_update"]
+    pos = assignment["pos_update"]
+    return (
+        isinstance(best, PhiInst)
+        and isinstance(pos, PhiInst)
+        and best.parent is pos.parent
+    )
+
+
+def _structurally_equal(a: Value, b: Value, depth: int = 0) -> bool:
+    """Value equivalence modulo cross-block redundancy.
+
+    The frontend only CSEs within blocks, so the guard's ``a[i]`` load
+    and the assigned ``a[i]`` load are distinct instructions; they are
+    still the same value because the loads read the same address with
+    no intervening store (the idiom's flow conditions guarantee the
+    array is read-only in the loop).
+    """
+    if a is b:
+        return True
+    if depth > 6:
+        return False
+    from ..ir.instructions import (
+        BinaryInst,
+        CastInst,
+        GEPInst,
+        LoadInst,
+    )
+    from ..ir.values import ConstantFloat, ConstantInt
+
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.value == b.value
+    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
+        return a.value == b.value
+    if isinstance(a, LoadInst) and isinstance(b, LoadInst):
+        return _structurally_equal(a.pointer, b.pointer, depth + 1)
+    if isinstance(a, GEPInst) and isinstance(b, GEPInst):
+        return a.base is b.base and _structurally_equal(
+            a.index, b.index, depth + 1
+        )
+    if isinstance(a, BinaryInst) and isinstance(b, BinaryInst):
+        return a.opcode == b.opcode and _structurally_equal(
+            a.lhs, b.lhs, depth + 1
+        ) and _structurally_equal(a.rhs, b.rhs, depth + 1)
+    if isinstance(a, CastInst) and isinstance(b, CastInst):
+        return a.opcode == b.opcode and _structurally_equal(
+            a.value, b.value, depth + 1
+        )
+    return False
+
+
+def _guard_matches_candidate(ctx: SolverContext,
+                             assignment: Assignment) -> bool:
+    """The guard must compare (a value equal to) the candidate against
+    the tracked best value."""
+    cmp = assignment["cmp"]
+    best = assignment["best"]
+    candidate = assignment["candidate"]
+    if not isinstance(cmp, (FCmpInst, ICmpInst)):
+        return False
+    if cmp.lhs is best:
+        other = cmp.rhs
+    elif cmp.rhs is best:
+        other = cmp.lhs
+    else:
+        return False
+    return _structurally_equal(other, candidate)
+
+
+def argminmax_spec() -> IdiomSpec:
+    """Guarded best-value / best-index pair:
+
+    ``if (cmp(a[i], best)) { best = a[i]; pos = i; }``
+
+    After lowering, ``best_update``/``pos_update`` are PHIs at the same
+    join block, selecting between the carried values and the candidate
+    pair, with the guard comparing the candidate against ``best``.
+    """
+    constraint = ConstraintAnd(
+        for_loop_constraint(),
+        # The tracked best value.
+        PhiOfTwo("best", "best_update", "best_init"),
+        InBlock("best", "header"),
+        PhiIncomingFromBlock("best", "best_update", "latch"),
+        PhiIncomingFromBlock("best", "best_init", "entry"),
+        loop_invariant_in("best_init", "entry"),
+        # The tracked index.
+        PhiOfTwo("pos", "pos_update", "pos_init"),
+        InBlock("pos", "header"),
+        PhiIncomingFromBlock("pos", "pos_update", "latch"),
+        PhiIncomingFromBlock("pos", "pos_init", "entry"),
+        loop_invariant_in("pos_init", "entry"),
+        Distinct("best", "pos", "iterator"),
+        # Join PHIs select carried vs candidate.
+        PhiOfTwo("best_update", "best", "candidate"),
+        PhiOfTwo("pos_update", "pos", "pos_candidate"),
+        Predicate(("best_update", "pos_update"), _phis_in_same_join,
+                  name="same-join"),
+        # The guard compares the candidate (or an equivalent
+        # recomputation of it) against the best value.
+        Opcode("cmp", ("fcmp", "icmp"), (None, None)),
+        Predicate(("cmp",), _is_strict_comparison, name="ordering-cmp"),
+        Predicate(("cmp", "best", "candidate"), _guard_matches_candidate,
+                  name="guard-matches-candidate"),
+    )
+    return IdiomSpec("argminmax", ARGMINMAX_LABEL_ORDER, constraint)
+
+
+@dataclass
+class ArgMinMaxMatch:
+    """One detected argmin/argmax pair."""
+
+    function: Function
+    header: BasicBlock
+    best: PhiInst
+    pos: PhiInst
+    kind: str  # "min" or "max"
+
+    @property
+    def name(self) -> str:
+        """Stable identifier."""
+        return (
+            f"{self.function.name}:{self.header.name}:"
+            f"arg{self.kind}({self.best.short_name()},"
+            f"{self.pos.short_name()})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Nested array reduction (the SP rms pattern)
+# ---------------------------------------------------------------------------
+
+NESTED_ARRAY_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
+    "arr_store", "gep_st", "base", "idx", "gep_ld", "arr_load", "update",
+)
+
+
+def _store_in_strict_subloop(ctx: SolverContext,
+                             assignment: Assignment) -> bool:
+    """The store must sit in a loop strictly inside the bound loop —
+    the complement of the base histogram spec's placement rule, so
+    regular histograms are not double-reported."""
+    header = assignment["header"]
+    store = assignment["arr_store"]
+    if not isinstance(header, BasicBlock) or not isinstance(store, StoreInst):
+        return False
+    loop = ctx.loop_info.loop_with_header(header)
+    if loop is None or store.parent not in loop.blocks:
+        return False
+    innermost = ctx.loop_info.innermost_loop_of(store.parent)
+    return innermost is not loop
+
+
+def _rmw_same_block(ctx: SolverContext, assignment: Assignment) -> bool:
+    load = assignment["arr_load"]
+    store = assignment["arr_store"]
+    block = getattr(load, "parent", None)
+    if block is None or block is not store.parent:
+        return False
+    return block.instructions.index(load) < block.instructions.index(store)
+
+
+def _nested_idx_policies(ctx: SolverContext, assignment: Assignment):
+    iterator = assignment["iterator"]
+    base = assignment["base"]
+    # Crucially the *outer* iterator is rejected even inside addresses:
+    # if the address varied with the outer loop this would be a
+    # parallel write, and if it read the array a true dependence.
+    policy = FlowPolicy(rejected=(iterator,), forbidden_bases=(base,))
+    return policy, policy
+
+
+def _nested_update_policies(ctx: SolverContext, assignment: Assignment):
+    iterator = assignment["iterator"]
+    base = assignment["base"]
+    load = assignment["arr_load"]
+    data = FlowPolicy(extra_sources=(load,), rejected=(iterator,),
+                      forbidden_bases=(base,), index_sources=(iterator,))
+    control = FlowPolicy(rejected=(iterator, load),
+                         forbidden_bases=(base,),
+                         index_sources=(iterator,))
+    return data, control
+
+
+def nested_array_reduction_spec() -> IdiomSpec:
+    """Array reduction carried by a non-innermost loop (SP's ``rms``)."""
+    constraint = ConstraintAnd(
+        for_loop_constraint(),
+        Opcode("arr_store", "store", ("update", "gep_st")),
+        Opcode("gep_st", "gep", ("base", "idx")),
+        Opcode("gep_ld", "gep", ("base", "idx")),
+        Opcode("arr_load", "load", ("gep_ld",)),
+        loop_invariant_in("base", "entry"),
+        Predicate(("header", "arr_store"), _store_in_strict_subloop,
+                  name="store-in-subloop"),
+        Predicate(("arr_load", "arr_store"), _rmw_same_block,
+                  name="read-modify-write"),
+        ComputedOnlyFrom("idx", "header", _nested_idx_policies,
+                         extra_labels=("iterator", "base")),
+        ComputedOnlyFrom("update", "header", _nested_update_policies,
+                         extra_labels=("iterator", "base", "arr_load")),
+    )
+    return IdiomSpec(
+        "nested-array-reduction", NESTED_ARRAY_LABEL_ORDER, constraint
+    )
+
+
+@dataclass
+class NestedArrayReduction:
+    """One detected non-innermost array reduction."""
+
+    function: Function
+    header: BasicBlock
+    base: Value
+    op: ReductionOp
+
+    @property
+    def name(self) -> str:
+        """Stable identifier."""
+        return (
+            f"{self.function.name}:{self.header.name}:"
+            f"{self.base.short_name()}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExtendedReport:
+    """Results of the extension idioms over one module."""
+
+    module_name: str
+    dot_products: list[DotProductMatch] = field(default_factory=list)
+    argminmax: list[ArgMinMaxMatch] = field(default_factory=list)
+    nested_array: list[NestedArrayReduction] = field(default_factory=list)
+
+
+_DOT = dot_product_spec()
+_ARG = argminmax_spec()
+_NESTED = nested_array_reduction_spec()
+
+_MIN_PREDICATES = frozenset({"olt", "ole", "slt", "sle"})
+
+
+def find_extended_reductions(module: Module) -> ExtendedReport:
+    """Run the three extension idioms over every defined function."""
+    report = ExtendedReport(module.name)
+    for function in module.defined_functions():
+        ctx = SolverContext(function, module)
+        seen: set[tuple] = set()
+        for assignment in detect(ctx, _DOT):
+            key = ("dot", id(assignment["header"]), id(assignment["acc"]))
+            if key in seen:
+                continue
+            seen.add(key)
+            report.dot_products.append(
+                DotProductMatch(
+                    function, assignment["header"], assignment["acc"],
+                    assignment["base_a"], assignment["base_b"],
+                )
+            )
+        for assignment in detect(ctx, _ARG):
+            key = ("arg", id(assignment["header"]), id(assignment["best"]),
+                   id(assignment["pos"]))
+            if key in seen:
+                continue
+            seen.add(key)
+            cmp = assignment["cmp"]
+            # Normalise the direction: candidate on the left.
+            predicate = cmp.predicate
+            if cmp.lhs is assignment["best"]:
+                flip = {"olt": "ogt", "ogt": "olt", "slt": "sgt",
+                        "sgt": "slt", "ole": "oge", "oge": "ole",
+                        "sle": "sge", "sge": "sle"}
+                predicate = flip[predicate]
+            kind = "min" if predicate in _MIN_PREDICATES else "max"
+            report.argminmax.append(
+                ArgMinMaxMatch(function, assignment["header"],
+                               assignment["best"], assignment["pos"], kind)
+            )
+        for assignment in detect(ctx, _NESTED):
+            # One record per store: in deeper nests several enclosing
+            # loops qualify as carriers; report the outermost (headers
+            # are enumerated in block order, outermost first).
+            key = ("nested", id(assignment["arr_store"]))
+            if key in seen:
+                continue
+            seen.add(key)
+            op = classify_update(assignment["arr_load"],
+                                 assignment["update"])
+            if op is None:
+                continue
+            report.nested_array.append(
+                NestedArrayReduction(function, assignment["header"],
+                                     assignment["base"], op)
+            )
+    return report

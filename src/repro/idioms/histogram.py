@@ -1,0 +1,144 @@
+"""Histogram (generalized reduction) idiom — §3.1.2 of the paper.
+
+On top of the for-loop tuple, a histogram binds the update machinery:
+
+* ``base`` — the histogram array (loop-invariant pointer);
+* ``idx`` — the bin index, computed from array values and loop
+  constants only (condition 3; *not* from the iterator — an
+  iterator-indexed update is a plain parallel write, not a histogram);
+* ``gep_ld``/``hist_load`` — the read of the old bin value (condition 4);
+* ``update``/``gep_st``/``hist_store`` — the write of the new value at
+  the *same* index (conditions 4+5).
+
+The update value may depend on the loaded bin value, array reads and
+invariants (condition 5), again via generalized graph domination.  The
+bin index is allowed to be the result of arbitrary allowed-composed
+computation — including loads at non-affine indices, which is what
+detects tpacf's binary-search histogram (§6.1) — but never the
+iterator or the histogram array itself.
+
+The store must sit directly in the bound loop (not inside a nested
+loop): this is why SP's mid-nest ``rms`` reduction is *not* found
+(§6.1's miss) while kmeans' membership-count histogram is.
+"""
+
+from __future__ import annotations
+
+from ..constraints import (
+    Assignment,
+    ComputedOnlyFrom,
+    ConstraintAnd,
+    FlowPolicy,
+    IdiomSpec,
+    Opcode,
+    Predicate,
+    SolverContext,
+)
+from ..ir.block import BasicBlock
+from ..ir.instructions import LoadInst, StoreInst
+from .forloop import FOR_LOOP_LABEL_ORDER, for_loop_constraint, loop_invariant_in
+
+HISTOGRAM_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
+    "hist_store",
+    "gep_st",
+    "base",
+    "idx",
+    "gep_ld",
+    "hist_load",
+    "update",
+)
+
+
+def _store_directly_in_loop(ctx: SolverContext, assignment: Assignment) -> bool:
+    """The store's innermost enclosing loop must be the bound loop."""
+    header = assignment["header"]
+    store = assignment["hist_store"]
+    if not isinstance(header, BasicBlock) or not isinstance(store, StoreInst):
+        return False
+    loop = ctx.loop_info.loop_with_header(header)
+    if loop is None or store.parent not in loop.blocks:
+        return False
+    return ctx.loop_info.innermost_loop_of(store.parent) is loop
+
+
+def _load_before_store_same_block(
+    ctx: SolverContext, assignment: Assignment
+) -> bool:
+    """The bin read and write form one read-modify-write in one block."""
+    load = assignment["hist_load"]
+    store = assignment["hist_store"]
+    if not isinstance(load, LoadInst) or not isinstance(store, StoreInst):
+        return False
+    block = load.parent
+    if block is None or block is not store.parent:
+        return False
+    return block.instructions.index(load) < block.instructions.index(store)
+
+
+def _idx_policies(ctx: SolverContext, assignment: Assignment):
+    """Allowed inputs for the bin index (condition 3)."""
+    iterator = assignment["iterator"]
+    base = assignment["base"]
+    policy = FlowPolicy(
+        rejected=(iterator,),
+        forbidden_bases=(base,),
+        index_sources=(iterator,),
+    )
+    return policy, policy
+
+def _update_policies(ctx: SolverContext, assignment: Assignment):
+    """Allowed inputs for the new bin value (condition 5)."""
+    iterator = assignment["iterator"]
+    base = assignment["base"]
+    load = assignment["hist_load"]
+    data = FlowPolicy(
+        extra_sources=(load,),
+        rejected=(iterator,),
+        forbidden_bases=(base,),
+        index_sources=(iterator,),
+    )
+    control = FlowPolicy(
+        rejected=(iterator, load),
+        forbidden_bases=(base,),
+        index_sources=(iterator,),
+    )
+    return data, control
+
+
+def histogram_constraint() -> ConstraintAnd:
+    """The full histogram conjunction (for-loop + read-modify-write)."""
+    return ConstraintAnd(
+        for_loop_constraint(),
+        Opcode("hist_store", "store", ("update", "gep_st")),
+        Opcode("gep_st", "gep", ("base", "idx")),
+        Opcode("gep_ld", "gep", ("base", "idx")),
+        Opcode("hist_load", "load", ("gep_ld",)),
+        loop_invariant_in("base", "entry"),
+        Predicate(
+            ("header", "hist_store"),
+            _store_directly_in_loop,
+            name="store-directly-in-loop",
+        ),
+        Predicate(
+            ("hist_load", "hist_store"),
+            _load_before_store_same_block,
+            name="read-modify-write",
+        ),
+        ComputedOnlyFrom(
+            "idx",
+            "header",
+            _idx_policies,
+            extra_labels=("iterator", "base"),
+        ),
+        ComputedOnlyFrom(
+            "update",
+            "header",
+            _update_policies,
+            extra_labels=("iterator", "base", "hist_load"),
+        ),
+    )
+
+
+def histogram_spec() -> IdiomSpec:
+    """The complete histogram idiom specification."""
+    return IdiomSpec("histogram", HISTOGRAM_LABEL_ORDER, histogram_constraint())

@@ -1,0 +1,281 @@
+"""Post-processing of solver matches.
+
+§3.1.2: *"There are some additional necessary conditions that we can
+not currently express in our constraint language.  These include the
+associativity of the update operation as well as the check for array
+aliasing.  Associativity is established in a post processing step,
+aliasing problems could be avoided with simple runtime checks."*
+
+This module is that post-processing step:
+
+* :func:`classify_update` determines the associative combining operator
+  relating an update value to its accumulator (or a histogram's stored
+  value to the loaded bin) — matches failing classification are
+  discarded;
+* :func:`accumulator_confined` checks that the accumulator is not
+  observed anywhere in the loop outside its own update computation;
+* :func:`alias_checks_for` produces the runtime disambiguation
+  requirements between the histogram array and the input arrays.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loops import Loop
+from ..ir.instructions import (
+    BinaryInst,
+    CallInst,
+    FCmpInst,
+    ICmpInst,
+    PhiInst,
+    SelectInst,
+)
+from ..ir.values import Value
+from .reports import AliasCheck, ReductionOp
+
+#: Opcodes that commute and associate, with the merge op they induce.
+_ASSOCIATIVE = {
+    "add": ReductionOp.ADD,
+    "fadd": ReductionOp.ADD,
+    "mul": ReductionOp.MUL,
+    "fmul": ReductionOp.MUL,
+}
+
+#: ``acc - delta`` merges like a sum (the deltas add up).
+_SUBTRACTIVE = {"sub": ReductionOp.ADD, "fsub": ReductionOp.ADD}
+
+_MINMAX_CALLS = {"fmin": ReductionOp.MIN, "fmax": ReductionOp.MAX,
+                 "min": ReductionOp.MIN, "max": ReductionOp.MAX}
+
+_GREATER = {"ogt", "oge", "sgt", "sge"}
+_LESS = {"olt", "ole", "slt", "sle"}
+
+#: Sentinel meaning "the value is the unmodified accumulator".
+_IDENTITY = "identity"
+
+
+def _dependents_of(source: Value) -> set[int]:
+    """ids of every value whose computation reads ``source``."""
+    result = {id(source)}
+    work = [source]
+    while work:
+        value = work.pop()
+        for user in value.users():
+            if id(user) not in result:
+                result.add(id(user))
+                work.append(user)
+    return result
+
+
+def classify_update(source: Value, update: Value) -> ReductionOp | None:
+    """The associative operator by which ``update`` combines into
+    ``source``, or None when the update is not a mergeable reduction.
+
+    Handles operator chains of one kind (``((acc+a)+b)``), conditional
+    updates through PHIs and selects, min/max via ``fmin``/``fmax``
+    calls and via compare+select, and rejects everything else —
+    including updates that never actually modify the accumulator and
+    updates where the accumulator appears more than once.
+    """
+    dependents = _dependents_of(source)
+    if id(update) not in dependents:
+        return None  # overwrite, not a reduction
+
+    visiting: set[int] = set()
+
+    def classify(value: Value):
+        if value is source:
+            return _IDENTITY
+        if id(value) in visiting:
+            return None  # recurrence through a different cycle
+        visiting.add(id(value))
+        try:
+            return _classify_value(value)
+        finally:
+            visiting.discard(id(value))
+
+    def _classify_value(value: Value):
+        if id(value) not in dependents:
+            return None
+        if isinstance(value, BinaryInst):
+            kind = _ASSOCIATIVE.get(value.opcode)
+            subtractive = _SUBTRACTIVE.get(value.opcode)
+            lhs_dep = id(value.lhs) in dependents
+            rhs_dep = id(value.rhs) in dependents
+            if lhs_dep and rhs_dep:
+                return None  # accumulator used twice
+            if kind is not None:
+                inner = classify(value.lhs if lhs_dep else value.rhs)
+                return _merge_chain(inner, kind)
+            if subtractive is not None and lhs_dep:
+                inner = classify(value.lhs)
+                return _merge_chain(inner, subtractive)
+            return None
+        if isinstance(value, PhiInst):
+            result = _IDENTITY
+            for incoming, _ in value.incoming:
+                if id(incoming) not in dependents:
+                    return None  # one path abandons the accumulator
+                arm = classify(incoming)
+                result = _merge_arms(result, arm)
+                if result is None:
+                    return None
+            return result
+        if isinstance(value, SelectInst):
+            return _classify_select(value)
+        if isinstance(value, CallInst):
+            op = _MINMAX_CALLS.get(value.callee.name)
+            if op is None:
+                return None
+            dep_args = [a for a in value.args if id(a) in dependents]
+            if len(dep_args) != 1:
+                return None
+            inner = classify(dep_args[0])
+            if inner is _IDENTITY or inner is op:
+                return op
+            return None
+        return None
+
+    def _classify_select(value: SelectInst):
+        cond = value.condition
+        true_dep = id(value.if_true) in dependents
+        false_dep = id(value.if_false) in dependents
+        if id(cond) in dependents:
+            # min/max pattern: select(cmp(a, b), a, b) with the
+            # accumulator as one side.
+            return _classify_minmax_select(value)
+        if true_dep and false_dep:
+            result = _merge_arms(classify(value.if_true),
+                                 classify(value.if_false))
+            return result
+        if true_dep or false_dep:
+            return None  # one arm abandons the accumulator
+        return None
+
+    def _classify_minmax_select(value: SelectInst):
+        cond = value.condition
+        if not isinstance(cond, (ICmpInst, FCmpInst)):
+            return None
+        a, b = cond.lhs, cond.rhs
+        t, f = value.if_true, value.if_false
+        if not ({id(t), id(f)} == {id(a), id(b)}):
+            return None
+        acc_side = t if classify(t) is _IDENTITY else (
+            f if classify(f) is _IDENTITY else None
+        )
+        if acc_side is None:
+            return None
+        other = f if acc_side is t else t
+        if id(other) in dependents:
+            return None
+        if cond.predicate in _GREATER:
+            # select(a > b, a, b) == max;  select(a > b, b, a) == min
+            if t is a:
+                return ReductionOp.MAX
+            return ReductionOp.MIN
+        if cond.predicate in _LESS:
+            if t is a:
+                return ReductionOp.MIN
+            return ReductionOp.MAX
+        return None
+
+    result = classify(update)
+    if result is _IDENTITY or result is None:
+        return None
+    return result
+
+
+def _merge_chain(inner, kind: ReductionOp):
+    """Combine a nested classification with an enclosing operator."""
+    if inner is _IDENTITY or inner is kind:
+        return kind
+    return None
+
+
+def _merge_arms(a, b):
+    """Combine classifications of alternative paths (phi/select arms)."""
+    if a is None or b is None:
+        return None
+    if a is _IDENTITY:
+        return b
+    if b is _IDENTITY:
+        return a
+    return a if a is b else None
+
+
+def accumulator_confined(
+    loop: Loop,
+    acc: Value,
+    slice_ids: set[int],
+    allowed_users: tuple[Value, ...] = (),
+) -> bool:
+    """True when no partial result leaks out of the update slice.
+
+    Every in-loop value that *depends on* the accumulator carries
+    partial-reduction state; if any such value is used by an in-loop
+    instruction outside the update slice (e.g. stored to memory, or
+    feeding some other computation), privatization would change
+    observable behaviour, so the match must be discarded.
+    ``allowed_users`` whitelists the histogram store, which legally
+    consumes the update value.
+    """
+    allowed = {id(v) for v in allowed_users}
+    dependents = _dependents_of(acc)
+    for block in loop.blocks:
+        for instruction in block.instructions:
+            if id(instruction) not in slice_ids:
+                continue
+            if id(instruction) not in dependents and instruction is not acc:
+                continue  # shared inputs (array loads) may fan out
+            for use in instruction.uses:
+                user = use.user
+                if user.parent is None or user.parent not in loop.blocks:
+                    continue
+                if id(user) in slice_ids or id(user) in allowed:
+                    continue
+                if user is acc:
+                    continue
+                return False
+    # The accumulator PHI itself must also only feed the slice.
+    for use in acc.uses:
+        user = use.user
+        if user.parent is None or user.parent not in loop.blocks:
+            continue
+        if id(user) not in slice_ids and id(user) not in allowed:
+            return False
+    return True
+
+
+def base_memory_ops_confined(
+    loop: Loop, base: Value, hist_load, hist_store
+) -> bool:
+    """True when the only in-loop accesses to ``base`` are the matched
+    read-modify-write pair (privatization reads/writes nothing else)."""
+    from ..constraints.flow import root_base
+    from ..ir.instructions import LoadInst, StoreInst
+
+    for block in loop.blocks:
+        for instruction in block.instructions:
+            if isinstance(instruction, LoadInst):
+                if root_base(instruction.pointer) is base and (
+                    instruction is not hist_load
+                ):
+                    return False
+            elif isinstance(instruction, StoreInst):
+                if root_base(instruction.pointer) is base and (
+                    instruction is not hist_store
+                ):
+                    return False
+    return True
+
+
+def alias_checks_for(base: Value, input_bases: list[Value]) -> list[AliasCheck]:
+    """Runtime no-alias requirements between the histogram array and
+    every other array the loop reads."""
+    checks = []
+    seen: set[int] = set()
+    for other in input_bases:
+        if other is base or id(other) in seen:
+            continue
+        seen.add(id(other))
+        checks.append(AliasCheck(base, other))
+    return checks

@@ -1,0 +1,110 @@
+"""Scalar reduction idiom — §3.1.1 of the paper.
+
+On top of the for-loop tuple, a scalar reduction binds three more
+labels:
+
+* ``acc`` — the accumulator PHI in the loop header (condition 2: a
+  scalar value updated every iteration — the PHI *is* the per-iteration
+  value);
+* ``acc_init`` — its value on loop entry (loop invariant);
+* ``acc_update`` — its value after one iteration (conditions 3+4: a
+  term of the old value, values read from arrays at indices affine in
+  the iterator, and loop constants only — enforced by generalized graph
+  domination, with branch conditions additionally forbidden from using
+  the accumulator, which rejects the §2 ``t1 <= sx`` counterexample).
+"""
+
+from __future__ import annotations
+
+from ..constraints import (
+    Assignment,
+    ComputedOnlyFrom,
+    ConstraintAnd,
+    Distinct,
+    FlowPolicy,
+    IdiomSpec,
+    InBlock,
+    Opcode,
+    PhiIncomingFromBlock,
+    PhiOfTwo,
+    Predicate,
+    SolverContext,
+)
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction, PhiInst
+from .forloop import FOR_LOOP_LABEL_ORDER, for_loop_constraint, loop_invariant_in
+
+SCALAR_REDUCTION_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
+    "acc",
+    "acc_update",
+    "acc_init",
+)
+
+
+def _update_in_loop(ctx: SolverContext, assignment: Assignment) -> bool:
+    """The update must be computed inside the loop (it changes per
+    iteration); the accumulator must not be the iterator's own cycle."""
+    header = assignment["header"]
+    update = assignment["acc_update"]
+    if not isinstance(header, BasicBlock) or not isinstance(update, Instruction):
+        return False
+    loop = ctx.loop_info.loop_with_header(header)
+    return loop is not None and update.parent in loop.blocks
+
+
+def _reduction_policies(ctx: SolverContext, assignment: Assignment):
+    """Allowed-input sets for the scalar reduction flow constraint.
+
+    Data slice: the accumulator itself, loads from loop-invariant arrays
+    at affine indices, loop invariants, pure calls.  Control slice: the
+    same *minus* the accumulator — conditions may not observe partial
+    results.  The iterator may appear in address computations but not in
+    the reduced value (§3.1.1 condition 4).
+    """
+    acc = assignment["acc"]
+    iterator = assignment["iterator"]
+    data = FlowPolicy(
+        extra_sources=(acc,),
+        rejected=(iterator,),
+        index_sources=(iterator,),
+        require_affine_index=True,
+    )
+    control = FlowPolicy(
+        extra_sources=(),
+        rejected=(iterator, acc),
+        index_sources=(iterator,),
+        require_affine_index=True,
+    )
+    return data, control
+
+
+def scalar_reduction_constraint() -> ConstraintAnd:
+    """The full scalar reduction conjunction (for-loop + accumulator)."""
+    return ConstraintAnd(
+        for_loop_constraint(),
+        PhiOfTwo("acc", "acc_update", "acc_init"),
+        InBlock("acc", "header"),
+        PhiIncomingFromBlock("acc", "acc_update", "latch"),
+        PhiIncomingFromBlock("acc", "acc_init", "entry"),
+        Distinct("acc", "iterator"),
+        Distinct("acc", "acc_update"),
+        loop_invariant_in("acc_init", "entry"),
+        Predicate(
+            ("header", "acc_update"), _update_in_loop, name="update-in-loop"
+        ),
+        ComputedOnlyFrom(
+            "acc_update",
+            "header",
+            _reduction_policies,
+            extra_labels=("acc", "iterator"),
+        ),
+    )
+
+
+def scalar_reduction_spec() -> IdiomSpec:
+    """The complete scalar reduction idiom specification."""
+    return IdiomSpec(
+        "scalar-reduction",
+        SCALAR_REDUCTION_LABEL_ORDER,
+        scalar_reduction_constraint(),
+    )

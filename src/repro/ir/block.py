@@ -1,0 +1,102 @@
+"""Basic blocks: straight-line instruction sequences ending in a terminator."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from .instructions import BranchInst, Instruction, PhiInst
+from .types import LABEL
+from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .function import Function
+
+
+class BasicBlock(Value):
+    """A basic block.
+
+    Blocks are values (of label type) so they can appear as branch and
+    PHI operands — matching LLVM, where block labels are part of the
+    value universe the constraint solver searches (§3.2).
+    """
+
+    def __init__(self, name: str = ""):
+        super().__init__(LABEL, name)
+        self.parent: "Function | None" = None
+        self.instructions: list[Instruction] = []
+
+    # -- structure ---------------------------------------------------------
+
+    def append(self, instruction: Instruction) -> Instruction:
+        """Append ``instruction`` and set its parent."""
+        if instruction.parent is not None:
+            raise ValueError(f"{instruction} already belongs to a block")
+        if self.terminator is not None:
+            raise ValueError(f"block {self.name} is already terminated")
+        instruction.parent = self
+        self.instructions.append(instruction)
+        return instruction
+
+    def insert(self, index: int, instruction: Instruction) -> Instruction:
+        """Insert ``instruction`` at position ``index``."""
+        if instruction.parent is not None:
+            raise ValueError(f"{instruction} already belongs to a block")
+        instruction.parent = self
+        self.instructions.insert(index, instruction)
+        return instruction
+
+    def remove(self, instruction: Instruction) -> None:
+        """Detach ``instruction`` from this block (uses are untouched)."""
+        self.instructions.remove(instruction)
+        instruction.parent = None
+
+    @property
+    def terminator(self) -> Instruction | None:
+        """The final branch/return, or None while under construction."""
+        if self.instructions and self.instructions[-1].is_terminator():
+            return self.instructions[-1]
+        return None
+
+    def phis(self) -> list[PhiInst]:
+        """The PHI nodes at the head of the block."""
+        result = []
+        for instruction in self.instructions:
+            if isinstance(instruction, PhiInst):
+                result.append(instruction)
+            else:
+                break
+        return result
+
+    def non_phi_instructions(self) -> Iterator[Instruction]:
+        """Iterate over the instructions after the PHI prefix."""
+        for instruction in self.instructions:
+            if not isinstance(instruction, PhiInst):
+                yield instruction
+
+    # -- CFG -----------------------------------------------------------------
+
+    def successors(self) -> list["BasicBlock"]:
+        """Successor blocks (empty for return blocks)."""
+        terminator = self.terminator
+        if isinstance(terminator, BranchInst):
+            return terminator.targets()
+        return []
+
+    def predecessors(self) -> list["BasicBlock"]:
+        """Predecessor blocks, in deterministic function order."""
+        if self.parent is None:
+            return []
+        preds = []
+        for block in self.parent.blocks:
+            if self in block.successors():
+                preds.append(block)
+        return preds
+
+    def short_name(self) -> str:
+        return self.name or "<block>"
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock %{self.short_name()}>"
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)

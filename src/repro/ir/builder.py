@@ -1,0 +1,152 @@
+"""IRBuilder: convenience API for emitting instructions into blocks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+)
+from .types import Type
+from .values import Value
+
+
+class IRBuilder:
+    """Emit instructions at the end of a current insertion block.
+
+    Mirrors ``llvm::IRBuilder``: position it with :meth:`position_at_end`
+    and call the per-opcode helpers, each of which appends an instruction
+    and returns it.
+    """
+
+    def __init__(self, block: BasicBlock | None = None):
+        self.block = block
+
+    def position_at_end(self, block: BasicBlock) -> None:
+        """Make ``block`` the insertion point."""
+        self.block = block
+
+    def _insert(self, instruction: Instruction) -> Instruction:
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        return self.block.append(instruction)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit an arbitrary binary operation."""
+        return self._insert(BinaryInst(opcode, lhs, rhs, name))
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit an integer addition."""
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit an integer subtraction."""
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit an integer multiplication."""
+        return self.binary("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a signed integer division."""
+        return self.binary("sdiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a signed remainder."""
+        return self.binary("srem", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a floating point addition."""
+        return self.binary("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a floating point subtraction."""
+        return self.binary("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a floating point multiplication."""
+        return self.binary("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a floating point division."""
+        return self.binary("fdiv", lhs, rhs, name)
+
+    # -- comparisons ---------------------------------------------------------
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit a signed integer comparison."""
+        return self._insert(ICmpInst(predicate, lhs, rhs, name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        """Emit an ordered floating point comparison."""
+        return self._insert(FCmpInst(predicate, lhs, rhs, name))
+
+    # -- memory ---------------------------------------------------------------
+
+    def alloca(self, allocated_type: Type, count: int = 1, name: str = "") -> Value:
+        """Emit a stack allocation."""
+        return self._insert(AllocaInst(allocated_type, count, name))
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        """Emit a load."""
+        return self._insert(LoadInst(pointer, name))
+
+    def store(self, value: Value, pointer: Value) -> Value:
+        """Emit a store."""
+        return self._insert(StoreInst(value, pointer))
+
+    def gep(self, base: Value, index: Value, name: str = "") -> Value:
+        """Emit single-index pointer arithmetic."""
+        return self._insert(GEPInst(base, index, name))
+
+    # -- control flow -----------------------------------------------------------
+
+    def phi(self, type: Type, name: str = "") -> PhiInst:
+        """Emit a PHI node (incoming edges added by the caller)."""
+        phi = PhiInst(type, name)
+        if self.block is None:
+            raise ValueError("builder has no insertion block")
+        index = len(self.block.phis())
+        self.block.insert(index, phi)
+        return phi
+
+    def br(self, target: BasicBlock) -> Value:
+        """Emit an unconditional branch."""
+        return self._insert(BranchInst(target))
+
+    def cond_br(self, cond: Value, if_true: BasicBlock, if_false: BasicBlock) -> Value:
+        """Emit a conditional branch."""
+        return self._insert(BranchInst(cond, if_true, if_false))
+
+    def ret(self, value: Value | None = None) -> Value:
+        """Emit a return."""
+        return self._insert(ReturnInst(value))
+
+    def select(self, cond: Value, if_true: Value, if_false: Value, name: str = "") -> Value:
+        """Emit a ternary select."""
+        return self._insert(SelectInst(cond, if_true, if_false, name))
+
+    def call(self, callee: Function, args: Sequence[Value], name: str = "") -> Value:
+        """Emit a direct call."""
+        return self._insert(CallInst(callee, list(args), name))
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Value:
+        """Emit a value conversion."""
+        return self._insert(CastInst(opcode, value, to_type, name))

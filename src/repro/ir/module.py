@@ -1,0 +1,64 @@
+"""Modules: the top-level container of functions and global variables."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .function import Function
+from .types import FunctionType, Type
+from .values import GlobalVariable
+
+
+class Module:
+    """A translation unit holding functions and globals by name."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: dict[str, Function] = {}
+        self.globals: dict[str, GlobalVariable] = {}
+
+    def add_function(
+        self,
+        name: str,
+        type: FunctionType,
+        param_names: list[str] | None = None,
+        pure: bool = False,
+    ) -> Function:
+        """Create and register a new function."""
+        if name in self.functions:
+            raise ValueError(f"function {name!r} already defined")
+        function = Function(name, type, param_names, pure=pure)
+        function.parent = self
+        self.functions[name] = function
+        return function
+
+    def add_global(
+        self,
+        name: str,
+        element_type: Type,
+        size: int = 1,
+        initializer: list | None = None,
+    ) -> GlobalVariable:
+        """Create and register a module-level array or scalar."""
+        if name in self.globals:
+            raise ValueError(f"global {name!r} already defined")
+        variable = GlobalVariable(name, element_type, size, initializer)
+        self.globals[name] = variable
+        return variable
+
+    def get_function(self, name: str) -> Function:
+        """Look up a function by name (KeyError if missing)."""
+        return self.functions[name]
+
+    def get_global(self, name: str) -> GlobalVariable:
+        """Look up a global by name (KeyError if missing)."""
+        return self.globals[name]
+
+    def defined_functions(self) -> Iterator[Function]:
+        """Iterate over functions that have bodies."""
+        for function in self.functions.values():
+            if not function.is_declaration:
+                yield function
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name}: {len(self.functions)} functions>"

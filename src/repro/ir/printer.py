@@ -1,0 +1,201 @@
+"""Textual IR printer (LLVM-flavoured, for debugging and golden tests)."""
+
+from __future__ import annotations
+
+from .block import BasicBlock
+from .function import Function
+from .instructions import (
+    AllocaInst,
+    BinaryInst,
+    BranchInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+)
+from .module import Module
+from .values import (
+    Argument,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class _NameMap:
+    """Assigns stable ``%N`` names to anonymous values within a function."""
+
+    def __init__(self) -> None:
+        self._names: dict[int, str] = {}
+        self._taken: set[str] = set()
+        self._counter = 0
+
+    def name_of(self, value: Value) -> str:
+        key = id(value)
+        if key in self._names:
+            return self._names[key]
+        if value.name and value.name not in self._taken:
+            name = value.name
+        else:
+            base = value.name or ""
+            while True:
+                name = f"{base}{self._counter}" if base else str(self._counter)
+                self._counter += 1
+                if name not in self._taken:
+                    break
+        self._taken.add(name)
+        self._names[key] = name
+        return name
+
+
+def format_operand(value: Value, names: _NameMap) -> str:
+    """Render a value as it appears in operand position."""
+    if isinstance(value, ConstantInt):
+        return f"{value.type} {value.value}"
+    if isinstance(value, ConstantFloat):
+        return f"{value.type} {value.value!r}"
+    if isinstance(value, UndefValue):
+        return f"{value.type} undef"
+    if isinstance(value, GlobalVariable):
+        return f"{value.type} @{value.name}"
+    if isinstance(value, Function):
+        return f"@{value.name}"
+    if isinstance(value, BasicBlock):
+        return f"label %{names.name_of(value)}"
+    if isinstance(value, Argument):
+        return f"{value.type} %{names.name_of(value)}"
+    return f"{value.type} %{names.name_of(value)}"
+
+
+def format_instruction(instruction: Instruction, names: _NameMap) -> str:
+    """Render one instruction as text."""
+    op = lambda v: format_operand(v, names)  # noqa: E731 - local shorthand
+    if isinstance(instruction, BinaryInst):
+        lhs, rhs = instruction.lhs, instruction.rhs
+        return (
+            f"%{names.name_of(instruction)} = {instruction.opcode} "
+            f"{op(lhs)}, {format_operand_bare(rhs, names)}"
+        )
+    if isinstance(instruction, ICmpInst):
+        return (
+            f"%{names.name_of(instruction)} = icmp {instruction.predicate} "
+            f"{op(instruction.lhs)}, {format_operand_bare(instruction.rhs, names)}"
+        )
+    if isinstance(instruction, FCmpInst):
+        return (
+            f"%{names.name_of(instruction)} = fcmp {instruction.predicate} "
+            f"{op(instruction.lhs)}, {format_operand_bare(instruction.rhs, names)}"
+        )
+    if isinstance(instruction, AllocaInst):
+        return (
+            f"%{names.name_of(instruction)} = alloca "
+            f"{instruction.allocated_type}, {instruction.count}"
+        )
+    if isinstance(instruction, LoadInst):
+        return f"%{names.name_of(instruction)} = load {op(instruction.pointer)}"
+    if isinstance(instruction, StoreInst):
+        return f"store {op(instruction.value)}, {op(instruction.pointer)}"
+    if isinstance(instruction, GEPInst):
+        return (
+            f"%{names.name_of(instruction)} = gep {op(instruction.base)}, "
+            f"{op(instruction.index)}"
+        )
+    if isinstance(instruction, PhiInst):
+        pairs = ", ".join(
+            f"[ {format_operand_bare(value, names)}, %{names.name_of(block)} ]"
+            for value, block in instruction.incoming
+        )
+        return f"%{names.name_of(instruction)} = phi {instruction.type} {pairs}"
+    if isinstance(instruction, BranchInst):
+        if instruction.is_conditional:
+            then_block, else_block = instruction.targets()
+            return (
+                f"br {op(instruction.condition)}, "
+                f"label %{names.name_of(then_block)}, "
+                f"label %{names.name_of(else_block)}"
+            )
+        return f"br label %{names.name_of(instruction.targets()[0])}"
+    if isinstance(instruction, ReturnInst):
+        if instruction.return_value is None:
+            return "ret void"
+        return f"ret {op(instruction.return_value)}"
+    if isinstance(instruction, CallInst):
+        args = ", ".join(op(a) for a in instruction.args)
+        prefix = ""
+        if not instruction.type.is_void():
+            prefix = f"%{names.name_of(instruction)} = "
+        return f"{prefix}call {instruction.type} @{instruction.callee.name}({args})"
+    if isinstance(instruction, SelectInst):
+        return (
+            f"%{names.name_of(instruction)} = select {op(instruction.condition)}, "
+            f"{op(instruction.if_true)}, {op(instruction.if_false)}"
+        )
+    if isinstance(instruction, CastInst):
+        return (
+            f"%{names.name_of(instruction)} = {instruction.opcode} "
+            f"{op(instruction.value)} to {instruction.type}"
+        )
+    raise NotImplementedError(f"cannot print {instruction!r}")
+
+
+def format_operand_bare(value: Value, names: _NameMap) -> str:
+    """Render a value without its leading type (second binary operand)."""
+    text = format_operand(value, names)
+    prefix = f"{value.type} "
+    if text.startswith(prefix):
+        return text[len(prefix):]
+    return text
+
+
+def print_function(function: Function) -> str:
+    """Render a whole function definition as text."""
+    names = _NameMap()
+    for argument in function.args:
+        names.name_of(argument)
+    for block in function.blocks:
+        names.name_of(block)
+    params = ", ".join(
+        f"{a.type} %{names.name_of(a)}" for a in function.args
+    )
+    lines = [f"define {function.type.return_type} @{function.name}({params}) {{"]
+    for block in function.blocks:
+        lines.append(f"{names.name_of(block)}:")
+        for instruction in block.instructions:
+            lines.append(f"  {format_instruction(instruction, names)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render a module: globals, declarations, then definitions."""
+    lines = []
+    for variable in module.globals.values():
+        init = ""
+        if variable.initializer is not None:
+            values = ", ".join(repr(v) for v in variable.initializer)
+            init = f" init [{values}]"
+        lines.append(
+            f"@{variable.name} = global [{variable.size} x "
+            f"{variable.element_type}]{init}"
+        )
+    for function in module.functions.values():
+        if function.is_declaration:
+            params = ", ".join(str(t) for t in function.type.param_types)
+            pure = " pure" if function.pure else ""
+            lines.append(
+                f"declare{pure} {function.type.return_type} "
+                f"@{function.name}({params})"
+            )
+    for function in module.defined_functions():
+        lines.append("")
+        lines.append(print_function(function))
+    return "\n".join(lines) + "\n"

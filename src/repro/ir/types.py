@@ -1,0 +1,174 @@
+"""Type system for the SSA intermediate representation.
+
+The IR is typed in the same spirit as LLVM: integers carry a bit width,
+floating point values are single or double precision, and memory is
+addressed through typed pointers.  Types are immutable value objects;
+structural equality is used throughout so ``IntType(32) == IntType(32)``.
+
+The module also exposes the commonly used singletons (:data:`INT1`,
+:data:`INT32`, :data:`INT64`, :data:`FLOAT`, :data:`DOUBLE`, :data:`VOID`)
+so that client code does not have to instantiate types repeatedly.
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class of all IR types.
+
+    Concrete subclasses implement ``__eq__``/``__hash__`` structurally so
+    types can be freely used as dictionary keys.
+    """
+
+    def is_integer(self) -> bool:
+        """Return True if this is an :class:`IntType`."""
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        """Return True if this is a :class:`FloatType`."""
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        """Return True if this is a :class:`PointerType`."""
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        """Return True if this is the void type."""
+        return isinstance(self, VoidType)
+
+    def __repr__(self) -> str:
+        return str(self)
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value (e.g. ``store``)."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width.
+
+    Width 1 is used for booleans (comparison results), 32 and 64 for the
+    C ``int`` and ``long`` types of the mini-C frontend.
+    """
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int):
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        self.width = width
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("int", self.width))
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """An IEEE-754 floating point type (width 32 or 64)."""
+
+    __slots__ = ("width",)
+
+    def __init__(self, width: int = 64):
+        if width not in (32, 64):
+            raise ValueError(f"float width must be 32 or 64, got {width}")
+        self.width = width
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("float", self.width))
+
+    def __str__(self) -> str:
+        return "float" if self.width == 32 else "double"
+
+
+class PointerType(Type):
+    """A pointer to a value of type :attr:`pointee`.
+
+    Arrays are modelled as pointers to their element type plus explicit
+    index arithmetic (a single-index ``gep``), mirroring how clang lowers
+    flat C arrays — which is exactly the representation the paper's
+    affine-access constraints inspect.
+    """
+
+    __slots__ = ("pointee",)
+
+    def __init__(self, pointee: Type):
+        self.pointee = pointee
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class LabelType(Type):
+    """The type of basic block labels."""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class FunctionType(Type):
+    """A function signature: return type plus parameter types."""
+
+    __slots__ = ("return_type", "param_types")
+
+    def __init__(self, return_type: Type, param_types: tuple[Type, ...]):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.return_type == self.return_type
+            and other.param_types == self.param_types
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.return_type, self.param_types))
+
+    def __str__(self) -> str:
+        params = ", ".join(str(t) for t in self.param_types)
+        return f"{self.return_type} ({params})"
+
+
+#: Boolean type produced by comparisons.
+INT1 = IntType(1)
+#: The C ``int`` type of the mini-C frontend.
+INT32 = IntType(32)
+#: The C ``long`` type; also used for pointer-sized arithmetic.
+INT64 = IntType(64)
+#: Single precision floating point.
+FLOAT = FloatType(32)
+#: Double precision floating point.
+DOUBLE = FloatType(64)
+#: Type of value-less instructions.
+VOID = VoidType()
+#: Type of basic block labels.
+LABEL = LabelType()

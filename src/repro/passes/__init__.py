@@ -1,0 +1,18 @@
+"""Transformation passes: SSA construction and CFG cleanup."""
+
+from .mem2reg import promotable_allocas, promote_allocas
+from .simplify import (
+    merge_straightline_blocks,
+    remove_trivial_phis,
+    remove_unreachable_blocks,
+    simplify_function,
+)
+
+__all__ = [
+    "promote_allocas",
+    "promotable_allocas",
+    "remove_unreachable_blocks",
+    "remove_trivial_phis",
+    "merge_straightline_blocks",
+    "simplify_function",
+]

@@ -1,0 +1,79 @@
+"""Local common subexpression elimination (per-block value numbering).
+
+Clang/LLVM's early-CSE runs before idiom detection in the paper's
+pipeline; without it, patterns like ``a[i] > m ? a[i] : m`` lower to two
+loads of ``a[i]`` and the min/max classification cannot see that both
+sides of the compare are the same value.  This pass unifies redundant
+pure expressions within each block; loads are invalidated by stores and
+by calls that may write memory.
+"""
+
+from __future__ import annotations
+
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinaryInst,
+    CallInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    LoadInst,
+    SelectInst,
+    StoreInst,
+)
+
+
+def _key(instruction):
+    if isinstance(instruction, BinaryInst):
+        return ("bin", instruction.opcode, id(instruction.lhs),
+                id(instruction.rhs))
+    if isinstance(instruction, ICmpInst):
+        return ("icmp", instruction.predicate, id(instruction.lhs),
+                id(instruction.rhs))
+    if isinstance(instruction, FCmpInst):
+        return ("fcmp", instruction.predicate, id(instruction.lhs),
+                id(instruction.rhs))
+    if isinstance(instruction, GEPInst):
+        return ("gep", id(instruction.base), id(instruction.index))
+    if isinstance(instruction, CastInst):
+        return ("cast", instruction.opcode, id(instruction.value),
+                instruction.type)
+    if isinstance(instruction, SelectInst):
+        return ("select", id(instruction.condition), id(instruction.if_true),
+                id(instruction.if_false))
+    if isinstance(instruction, LoadInst):
+        return ("load", id(instruction.pointer))
+    if isinstance(instruction, CallInst) and instruction.callee.pure:
+        return ("call", id(instruction.callee),
+                tuple(id(a) for a in instruction.args))
+    return None
+
+
+def local_cse(function: Function) -> int:
+    """Eliminate block-local redundant expressions; returns the count."""
+    removed = 0
+    for block in function.blocks:
+        available: dict = {}
+        for instruction in list(block.instructions):
+            if isinstance(instruction, StoreInst) or (
+                isinstance(instruction, CallInst)
+                and not instruction.callee.pure
+            ):
+                # Conservative: any write may alias any load.
+                available = {
+                    k: v for k, v in available.items() if k[0] != "load"
+                }
+                continue
+            key = _key(instruction)
+            if key is None:
+                continue
+            existing = available.get(key)
+            if existing is not None:
+                instruction.replace_all_uses_with(existing)
+                instruction.drop_all_references()
+                block.remove(instruction)
+                removed += 1
+            else:
+                available[key] = instruction
+    return removed

@@ -1,0 +1,28 @@
+"""Execution substrate: interpreter, memory, profiling, parallel simulation."""
+
+from .interpreter import Interpreter, InterpreterError
+from .machine import MachineModel
+from .memory import Buffer, Memory, MemoryError_, Pointer
+from .parallel import (
+    ParallelExecutor,
+    ParallelRunResult,
+    RegionRecord,
+    run_sequential,
+)
+from .profiler import CoverageProfile, profile_coverage
+
+__all__ = [
+    "Interpreter",
+    "InterpreterError",
+    "Memory",
+    "Buffer",
+    "Pointer",
+    "MemoryError_",
+    "MachineModel",
+    "ParallelExecutor",
+    "ParallelRunResult",
+    "RegionRecord",
+    "run_sequential",
+    "CoverageProfile",
+    "profile_coverage",
+]

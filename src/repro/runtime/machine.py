@@ -1,0 +1,60 @@
+"""Machine cost model for the simulated parallel executor.
+
+The paper evaluates on a 64-core AMD Opteron 6376 machine; we replace
+wall-clock time with a deterministic cost model over dynamic
+instruction counts.  Costs are expressed in "cycles" where one executed
+IR instruction costs one cycle; thread management and merge costs are
+calibrated so the *shape* of Figure 15 (who wins, by what order of
+magnitude, where privatization overhead bites) is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+
+@dataclass
+class MachineModel:
+    """Cost parameters of the simulated shared-memory machine."""
+
+    #: Worker cores (the paper's machine has 64).
+    cores: int = 64
+    #: Cycles to create/join one thread (pthread_create + join).
+    spawn_cost: float = 2000.0
+    #: Cycles per element when merging a privatized array copy.
+    merge_cost_per_element: float = 2.0
+    #: Cycles per element to allocate + zero a privatized copy.
+    alloc_cost_per_element: float = 1.5
+    #: Extra cycles per histogram update for dynamic bounds checking (§4).
+    bounds_check_cost: float = 1.0
+    #: Cycles per element for an atomic update under contention — used
+    #: by the modelled "original parallel version" of histo (§6.3).
+    atomic_update_cost: float = 12.0
+    #: Cycles to enter+leave a contended critical section — used by the
+    #: modelled original tpacf (§6.3: slowdown versus sequential).
+    critical_section_cost: float = 120.0
+
+    def spawn_path_cost(self, threads: int) -> float:
+        """Thread-creation cost on the critical path of the recursive
+        bisection scheme of §4 (half the work is offloaded per level)."""
+        if threads <= 1:
+            return 0.0
+        return self.spawn_cost * ceil(log2(threads))
+
+    def merge_path_cost(self, threads: int, private_elements: int) -> float:
+        """Merge cost on the critical path: one element-wise merge of
+        every privatized copy per bisection level."""
+        if threads <= 1:
+            return 0.0
+        per_merge = private_elements * self.merge_cost_per_element
+        return per_merge * ceil(log2(threads))
+
+    def alloc_path_cost(self, threads: int, private_elements: int) -> float:
+        """Privatized-copy allocation cost on the critical path."""
+        if threads <= 1:
+            return 0.0
+        return (
+            private_elements * self.alloc_cost_per_element
+            * ceil(log2(threads))
+        )

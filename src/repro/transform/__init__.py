@@ -1,0 +1,33 @@
+"""Reduction exploitation: planning, outlining, profitability."""
+
+from .outline import OutlinedTask, OutlineError, outline_loop
+from .plan import (
+    ParallelPlan,
+    TransformFailure,
+    identity_value,
+    merge_values,
+    plan_all,
+    plan_loop,
+)
+from .profitability import (
+    ProfitabilityDecision,
+    ProfitabilityReport,
+    assess,
+    estimate_speedup,
+)
+
+__all__ = [
+    "ParallelPlan",
+    "TransformFailure",
+    "plan_loop",
+    "plan_all",
+    "identity_value",
+    "merge_values",
+    "OutlinedTask",
+    "OutlineError",
+    "outline_loop",
+    "assess",
+    "estimate_speedup",
+    "ProfitabilityDecision",
+    "ProfitabilityReport",
+]

@@ -1,0 +1,22 @@
+"""Synthetic benchmark corpus: NAS, Parboil and Rodinia reconstructions."""
+
+from .corpus import (
+    FIGURE15_BENCHMARKS,
+    SUITE_NAMES,
+    all_programs,
+    clear_cache,
+    program,
+    suite,
+)
+from .spec import BenchmarkProgram, Expectation
+
+__all__ = [
+    "BenchmarkProgram",
+    "Expectation",
+    "SUITE_NAMES",
+    "FIGURE15_BENCHMARKS",
+    "suite",
+    "all_programs",
+    "program",
+    "clear_cache",
+]

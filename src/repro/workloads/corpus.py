@@ -1,0 +1,48 @@
+"""Corpus registry: all 40 benchmark programs by suite."""
+
+from __future__ import annotations
+
+from . import nas, parboil, rodinia
+from .spec import BenchmarkProgram
+
+#: Suites in the order of the paper's figures.
+SUITE_NAMES = ("NAS", "Parboil", "Rodinia")
+
+#: Benchmarks with a Figure 15 speedup experiment.
+FIGURE15_BENCHMARKS = ("EP", "IS", "histo", "tpacf", "kmeans")
+
+_CACHE: dict[str, list[BenchmarkProgram]] = {}
+
+
+def suite(name: str) -> list[BenchmarkProgram]:
+    """The programs of one suite (cached)."""
+    if name not in _CACHE:
+        builders = {
+            "NAS": nas.build_suite,
+            "Parboil": parboil.build_suite,
+            "Rodinia": rodinia.build_suite,
+        }
+        _CACHE[name] = builders[name]()
+    return _CACHE[name]
+
+
+def all_programs() -> list[BenchmarkProgram]:
+    """All 40 corpus programs."""
+    programs: list[BenchmarkProgram] = []
+    for name in SUITE_NAMES:
+        programs.extend(suite(name))
+    return programs
+
+
+def program(name: str, suite_name: str | None = None) -> BenchmarkProgram:
+    """Look one program up by name (suites may reuse names, e.g. bfs)."""
+    for candidate in all_programs():
+        if candidate.name == name:
+            if suite_name is None or candidate.suite == suite_name:
+                return candidate
+    raise KeyError(f"no benchmark named {name!r}")
+
+
+def clear_cache() -> None:
+    """Drop memoised programs (tests that mutate modules use this)."""
+    _CACHE.clear()

@@ -1,0 +1,439 @@
+"""Parameterized mini-C kernel generators for the benchmark corpus.
+
+Each generator emits one function whose *analysable features* place it
+in a known cell of the detection matrix (our detector / icc model /
+Polly model).  The comments on each generator state the intended
+verdicts; the corpus tests assert them benchmark by benchmark.
+
+Conventions driving the tool verdicts:
+
+* loop bounds that are **mutable globals** (``nvals`` etc.) are hoisted
+  by LICM, so our detector and icc accept them, but they are runtime
+  values — never Polly parameters ("not statically known iteration
+  spaces", §6.1);
+* loop bounds that are **literals** make the nest a Polly SCoP
+  candidate (used only where the paper says Polly succeeds);
+* ``fmin``/``fmax`` calls are pure for us but unknown to icc (§6.1,
+  cutcp);
+* flattened accesses ``a[i*cols + j]`` with a parametric ``cols``
+  break Polly's constant-coefficient affinity (delinearization);
+* indirect accesses break icc and Polly; only the histogram idiom
+  accepts them.
+"""
+
+from __future__ import annotations
+
+
+def plain_sum(fname: str, arr: str, bound: str) -> str:
+    """Sum over an array.  ours ✓, icc ✓; Polly ✓ iff ``bound`` is a
+    literal (then the function is a SCoP with a reduction)."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = s + {arr}[i];
+    }}
+    return s;
+}}
+"""
+
+
+def guarded_sum(fname: str, arr: str, bound: str, thresh: str = "0.5") -> str:
+    """Conditionally guarded sum.  ours ✓, icc ✓, Polly ✗ (the guard is
+    data dependent, so the region is not static control)."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        double v = {arr}[i];
+        if (v > {thresh}) {{
+            s = s + v;
+        }}
+    }}
+    return s;
+}}
+"""
+
+
+def math_sum(fname: str, arr: str, bound: str, call: str = "sqrt") -> str:
+    """Sum through a math call icc knows how to vectorize.
+    ours ✓, icc ✓, Polly ✗ (call breaks static control)."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = s + {call}(fabs({arr}[i]) + 1.0);
+    }}
+    return s;
+}}
+"""
+
+
+def fminmax_sum(fname: str, arr: str, bound: str, call: str = "fmax") -> str:
+    """Min/max reduction via ``fmin``/``fmax``.  ours ✓ (the intrinsic
+    is known pure); icc ✗ (unknown side effects, §6.1); Polly ✗."""
+    return f"""
+double {fname}(void) {{
+    double m = {arr}[0];
+    for (int i = 0; i < {bound}; i++) {{
+        m = {call}(m, {arr}[i]);
+    }}
+    return m;
+}}
+"""
+
+
+def fminmax_guarded_sum(fname: str, arr: str, bound: str,
+                        call: str = "fmin") -> str:
+    """Guarded sum that also evaluates ``fmin``/``fmax`` — the cutcp
+    pattern: the call blocks icc even though the accumulator itself is
+    a plain sum.  ours ✓, icc ✗, Polly ✗."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        double v = {call}({arr}[i], 1.0);
+        if (v > 0.0) {{
+            s = s + v * v;
+        }}
+    }}
+    return s;
+}}
+"""
+
+
+def ternary_max(fname: str, arr: str, bound: str, greater: bool = True) -> str:
+    """Min/max via compare+select (no call).  ours ✓, icc ✓, Polly ✗."""
+    op = ">" if greater else "<"
+    return f"""
+double {fname}(void) {{
+    double m = {arr}[0];
+    for (int i = 0; i < {bound}; i++) {{
+        m = {arr}[i] {op} m ? {arr}[i] : m;
+    }}
+    return m;
+}}
+"""
+
+
+def product_reduction(fname: str, arr: str, bound: str) -> str:
+    """Product reduction.  ours ✓, icc ✓, Polly ✗ (global bound)."""
+    return f"""
+double {fname}(void) {{
+    double p = 1.0;
+    for (int i = 0; i < {bound}; i++) {{
+        p = p * (1.0 + 0.000001 * {arr}[i]);
+    }}
+    return p;
+}}
+"""
+
+
+def dot_product(fname: str, a: str, b: str, bound: str) -> str:
+    """Dot product of two arrays.  ours ✓, icc ✓, Polly ✗."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = s + {a}[i] * {b}[i];
+    }}
+    return s;
+}}
+"""
+
+
+def nested_flat_sum(fname: str, arr: str, rows: str, cols: str) -> str:
+    """Sum over a flattened 2-D array with parametric pitch.  Detected
+    at the innermost loop: ours ✓ (1), icc ✓ (1); Polly ✗ — the
+    ``i*cols`` term has a symbolic coefficient (flat-array
+    delinearization failure, §6.1)."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {rows}; i++) {{
+        for (int j = 0; j < {cols}; j++) {{
+            s = s + {arr}[i * {cols} + j];
+        }}
+    }}
+    return s;
+}}
+"""
+
+
+def strided_sum(fname: str, arr: str, bound: str, stride: str) -> str:
+    """Sum with a runtime stride.  ours ✓ (affine with loop-invariant
+    coefficient), icc ✓, Polly ✗ (symbolic coefficient)."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = s + {arr}[i * {stride}];
+    }}
+    return s;
+}}
+"""
+
+
+def gather_sum(fname: str, val: str, idx: str, bound: str) -> str:
+    """Gather (indirection) sum, the spmv pattern.  Nobody detects it:
+    ours ✗ (scalar reductions require affine reads, §3.1.1 cond. 3),
+    icc ✗ (assumed dependence), Polly ✗."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = s + {val}[{idx}[i]];
+    }}
+    return s;
+}}
+"""
+
+
+def count_if(fname: str, arr: str, bound: str, thresh: str = "0.0") -> str:
+    """Conditional counter (integer sum).  ours ✓, icc ✓, Polly ✗."""
+    return f"""
+int {fname}(void) {{
+    int count = 0;
+    for (int i = 0; i < {bound}; i++) {{
+        if ({arr}[i] > {thresh}) {{
+            count = count + 1;
+        }}
+    }}
+    return count;
+}}
+"""
+
+
+def seq_recurrence(fname: str, arr: str, bound: str) -> str:
+    """First-order linear recurrence — NOT a reduction (the update
+    mixes * and +, so no single associative operator).  Nobody may
+    report it."""
+    return f"""
+double {fname}(void) {{
+    double s = 0.0;
+    for (int i = 0; i < {bound}; i++) {{
+        s = 0.5 * s + {arr}[i];
+    }}
+    return s;
+}}
+"""
+
+
+def checksum(fname: str, arr: str, bound: str) -> str:
+    """Verification checksum used by mains: deliberately written as a
+    non-associative recurrence so it never counts as a reduction."""
+    return seq_recurrence(fname, arr, bound)
+
+
+def scale_map(fname: str, src: str, dst: str, bound: str,
+              factor: str = "2.0") -> str:
+    """Element-wise map, a parallel write but no reduction.  Global
+    bound keeps it out of the SCoP population."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        {dst}[i] = {factor} * {src}[i];
+    }}
+}}
+"""
+
+
+def fill_formula(fname: str, arr: str, bound: str, seed: str = "0.618") -> str:
+    """Deterministic array initialisation (the ``fmod`` call keeps the
+    loop out of every detector's and Polly's scope)."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        {arr}[i] = fmod({seed} * (i + 1) + 0.311, 1.0);
+    }}
+}}
+"""
+
+
+def fill_rand(fname: str, arr: str, bound: str, scale: str = "1.0") -> str:
+    """Pseudo-random initialisation via the impure ``rand`` intrinsic."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        {arr}[i] = {scale} * (rand() % 1000) / 1000.0;
+    }}
+}}
+"""
+
+
+def fill_keys(fname: str, arr: str, bound: str, buckets: str) -> str:
+    """Integer key initialisation into a bounded range."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        {arr}[i] = (i * 7 + i / 3) % {buckets};
+    }}
+}}
+"""
+
+
+# -- histograms ---------------------------------------------------------------
+
+
+def direct_histogram(fname: str, hist: str, keys: str, bound: str) -> str:
+    """The IS pattern: ``hist[keys[i]]++``.  ours ✓ (histogram);
+    icc ✗, Polly ✗ (indirect)."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        {hist}[{keys}[i]] = {hist}[{keys}[i]] + 1;
+    }}
+}}
+"""
+
+
+def image_histogram(fname: str, hist: str, img: str, bound: str,
+                    bins: str) -> str:
+    """The histo pattern: bin computed from pixel data."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        int bin = (int) ({img}[i] * ({bins} - 1));
+        {hist}[bin] = {hist}[bin] + 1;
+    }}
+}}
+"""
+
+
+def binsearch_histogram(fname: str, hist: str, binb: str, data: str,
+                        bound: str, nbins: str) -> str:
+    """The tpacf pattern: the bin index comes from a binary search in
+    an auxiliary array (§6.1: "the most interesting example")."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {bound}; i++) {{
+        double d = {data}[i];
+        int lo = 0;
+        int hi = {nbins};
+        while (lo < hi) {{
+            int mid = (lo + hi) / 2;
+            if (d < {binb}[mid]) {{
+                hi = mid;
+            }} else {{
+                lo = mid + 1;
+            }}
+        }}
+        {hist}[lo] = {hist}[lo] + 1.0;
+    }}
+}}
+"""
+
+
+# -- SCoP material --------------------------------------------------------------
+
+
+def sgemm_kernel(fname: str, a: str, b: str, c: str, n: int) -> str:
+    """Dense matrix multiply with literal dimensions: a SCoP whose
+    inner loop is a reduction.  ours ✓, icc ✓, Polly ✓ (the one Parboil
+    reduction SCoP, §6.1)."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            double s = 0.0;
+            for (int k = 0; k < {n}; k++) {{
+                s = s + {a}[i * {n} + k] * {b}[k * {n} + j];
+            }}
+            {c}[i * {n} + j] = s;
+        }}
+    }}
+}}
+"""
+
+
+def midnest_array_reduction(fname: str, src: str, acc: str, d1: int,
+                            d2: int, d3: int) -> str:
+    """The SP/BT ``rms`` pattern (§6.1): a perfectly nested loop where
+    the reduction is carried by the outer loops and the innermost
+    iterator indexes the accumulator array.  Polly ✓ (affine array
+    reduction in a SCoP); ours ✗ (the reduction loop is not the
+    innermost loop); icc ✗ (mid-nest reduction iterator)."""
+    return f"""
+void {fname}(void) {{
+    for (int k = 0; k < {d1}; k++) {{
+        for (int j = 0; j < {d2}; j++) {{
+            for (int m = 0; m < {d3}; m++) {{
+                double add = {src}[(k * {d2} + j) * {d3} + m];
+                {acc}[m] = {acc}[m] + add * add;
+            }}
+        }}
+    }}
+}}
+"""
+
+
+def stencil2d(fname: str, src: str, dst: str, n: int,
+              coeff: str = "0.25") -> str:
+    """Out-of-place 2-D stencil with literal dimensions — a SCoP with
+    no reduction (the bulk of Polly's SCoPs, §6.1)."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 1; i < {n} - 1; i++) {{
+        for (int j = 1; j < {n} - 1; j++) {{
+            {dst}[i * {n} + j] = {coeff} * ({src}[i * {n} + j - 1]
+                + {src}[i * {n} + j + 1]
+                + {src}[(i - 1) * {n} + j]
+                + {src}[(i + 1) * {n} + j]);
+        }}
+    }}
+}}
+"""
+
+
+def stencil1d(fname: str, src: str, dst: str, n: int,
+              coeff: str = "0.3333") -> str:
+    """Out-of-place 1-D three-point stencil — a SCoP, no reduction."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 1; i < {n} - 1; i++) {{
+        {dst}[i] = {coeff} * ({src}[i - 1] + {src}[i] + {src}[i + 1]);
+    }}
+}}
+"""
+
+
+def axpy_const(fname: str, x: str, y: str, n: int,
+               alpha: str = "1.5") -> str:
+    """Literal-bound vector update — a SCoP, no reduction."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {n}; i++) {{
+        {y}[i] = {y}[i] + {alpha} * {x}[i];
+    }}
+}}
+"""
+
+
+def transpose_const(fname: str, src: str, dst: str, n: int) -> str:
+    """Literal-bound matrix transpose — a SCoP, no reduction."""
+    return f"""
+void {fname}(void) {{
+    for (int i = 0; i < {n}; i++) {{
+        for (int j = 0; j < {n}; j++) {{
+            {dst}[j * {n} + i] = {src}[i * {n} + j];
+        }}
+    }}
+}}
+"""
+
+
+def blocked_abs_diff(fname: str, cur: str, ref: str, out: str,
+                     blocks: str, width: str) -> str:
+    """The sad pattern: per-position accumulation indexed by the inner
+    iterator.  The store index varies with the inner loop, so it is a
+    parallel write, not a histogram — nobody reports a reduction."""
+    return f"""
+void {fname}(void) {{
+    for (int b = 0; b < {blocks}; b++) {{
+        for (int j = 0; j < {width}; j++) {{
+            double d = {cur}[b * {width} + j] - {ref}[b * {width} + j];
+            {out}[b * {width} + j] = {out}[b * {width} + j] + fabs(d);
+        }}
+    }}
+}}
+"""

@@ -1,0 +1,465 @@
+"""NAS Parallel Benchmarks corpus (SNU NPB C versions, 10 programs).
+
+Each program reconstructs the reduction/SCoP population the paper
+reports for the suite (Fig. 8a, Fig. 9, Fig. 12):
+
+* 35 scalar reductions + 3 histograms (DC, EP, IS) across the suite;
+* icc finds 25 (blocked on EP/IS by fmax+indirection, on SP by the
+  fmin/fmax-laden kernels);
+* Polly finds reductions only in BT and SP (the mid-nest ``rms``
+  pattern inside constant-bound SCoPs) — 42 SCoPs total, 37 of them in
+  the four stencil codes BT/LU/MG/SP, none at all in DC/EP/IS/UA.
+"""
+
+from __future__ import annotations
+
+from . import kernels as k
+from .spec import BenchmarkProgram, Expectation
+
+
+def _bt() -> BenchmarkProgram:
+    n = 20
+    source = f"""
+int nvals;
+double u[{n * n}]; double rhs[{n * n}]; double work[{n * n}];
+double forcing[{n * n}]; double rms[5]; double flux[512]; double qs[512];
+""" + (
+        k.fill_formula("init_u", "u", str(n * n))
+        + k.fill_formula("init_rhs", "rhs", str(n * n), seed="0.27")
+        + k.fill_formula("init_flux", "flux", "nvals", seed="0.41")
+        + k.fill_formula("init_qs", "qs", "nvals", seed="0.77")
+        # 9 constant-bound SCoPs: the ADI sweeps of BT.
+        + k.stencil2d("x_solve", "u", "work", n, coeff="0.2")
+        + k.stencil2d("y_solve", "work", "u", n, coeff="0.21")
+        + k.stencil2d("z_solve", "u", "work", n, coeff="0.19")
+        + k.stencil2d("compute_rhs_stencil", "u", "rhs", n, coeff="0.15")
+        + k.stencil1d("exact_solution_row", "u", "work", n * n)
+        + k.stencil1d("lhsinit_row", "rhs", "work", n * n, coeff="0.5")
+        + k.axpy_const("add_update", "rhs", "u", n * n, alpha="0.9")
+        + k.axpy_const("forcing_update", "forcing", "rhs", n * n,
+                       alpha="0.3")
+        + k.transpose_const("pivot_transpose", "u", "work", n)
+        # The mid-nest rms error norm: Polly-only (§6.1).
+        + k.midnest_array_reduction("error_norm", "u", "rms", 8, 10, 5)
+        # Our three scalar reductions (also found by icc).
+        + k.plain_sum("flux_total", "flux", "nvals")
+        + k.guarded_sum("positive_flux", "flux", "nvals", thresh="0.4")
+        + k.dot_product("qs_dot_flux", "qs", "flux", "nvals")
+        + k.checksum("verify", "u", "nvals")
+    ) + """
+int main(void) {
+    nvals = 300;
+    init_u(); init_rhs(); init_flux(); init_qs();
+    x_solve(); y_solve(); z_solve();
+    compute_rhs_stencil(); exact_solution_row(); lhsinit_row();
+    add_update(); forcing_update(); pivot_transpose();
+    error_norm();
+    double a = flux_total();
+    double b = positive_flux();
+    double c = qs_dot_flux();
+    print_double(a + b + c + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "BT", "NAS", source,
+        Expectation(ours_scalars=3, ours_histograms=0, icc=3,
+                    polly_reductions=1, scops=10, reduction_scops=1),
+        notes="stencil SCoPs + Polly-only mid-nest rms reduction",
+    )
+
+
+def _cg() -> BenchmarkProgram:
+    source = """
+int nvals; int nnz;
+double x[600]; double z[600]; double p[600]; double q[600];
+double vals[2048]; int cols[2048];
+""" + (
+        k.fill_formula("init_x", "x", "nvals")
+        + k.fill_formula("init_z", "z", "nvals", seed="0.35")
+        + k.fill_formula("init_p", "p", "nvals", seed="0.52")
+        + k.fill_formula("init_vals", "vals", "nnz", seed="0.81")
+        + k.fill_keys("init_cols", "cols", "nnz", "600")
+        # The sparse matvec: a gather sum nobody auto-detects.
+        + k.gather_sum("spmv_row", "vals", "cols", "nnz")
+        # Our three scalar reductions (norms and dot products of CG).
+        + k.plain_sum("norm_z", "z", "nvals")
+        + k.dot_product("rho", "x", "z", "nvals")
+        + k.dot_product("alpha_den", "p", "q", "nvals")
+        # Two constant-bound helper SCoPs.
+        + k.axpy_const("update_p", "z", "p", 600, alpha="0.8")
+        + k.stencil1d("smooth_q", "p", "q", 600)
+        + k.checksum("verify", "z", "nvals")
+    ) + """
+int main(void) {
+    nvals = 500; nnz = 1500;
+    init_x(); init_z(); init_p(); init_vals(); init_cols();
+    update_p(); smooth_q();
+    double s = spmv_row() + norm_z() + rho() + alpha_den();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "CG", "NAS", source,
+        Expectation(ours_scalars=3, icc=3, scops=2),
+        notes="gather matvec undetectable by all; dense norms detected",
+    )
+
+
+def _dc() -> BenchmarkProgram:
+    source = """
+int ntuples;
+int cube[512]; int keys[4096];
+double measures[4096];
+""" + (
+        k.fill_keys("init_keys", "keys", "ntuples", "512")
+        + k.fill_formula("init_measures", "measures", "ntuples")
+        # Aggregate view counting: a direct histogram.
+        + k.direct_histogram("aggregate_views", "cube", "keys", "ntuples")
+        # Two scalar reductions over the measures.
+        + k.plain_sum("sum_measures", "measures", "ntuples")
+        + k.count_if("count_hot", "measures", "ntuples", thresh="0.7")
+        + k.checksum("verify", "measures", "ntuples")
+    ) + """
+int main(void) {
+    ntuples = 2600;
+    init_keys(); init_measures();
+    aggregate_views(); aggregate_views(); aggregate_views();
+    aggregate_views();
+    double s = sum_measures();
+    int c = count_hot();
+    print_double(s + c + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "DC", "NAS", source,
+        Expectation(ours_scalars=2, ours_histograms=1, icc=2),
+        notes="data-cube aggregation histogram",
+    )
+
+
+def _ep() -> BenchmarkProgram:
+    # Figure 2 of the paper, verbatim modulo syntax: the histogram of
+    # gaussian deviate magnitudes plus the sx/sy scalar reductions.
+    source = """
+const int NK = 6000;
+int nvals;
+double x[12000]; double q[16]; double sx; double sy;
+
+void vranlc(void) {
+    for (int i = 0; i < 2 * NK; i++) {
+        x[i] = fmod(0.618033988 * (i + 1) + 0.318309886, 1.0);
+    }
+}
+
+void gaussian_pairs(void) {
+    double lsx = 0.0;
+    double lsy = 0.0;
+    for (int i = 0; i < NK; i++) {
+        double x1 = 2.0 * x[2 * i] - 1.0;
+        double x2 = 2.0 * x[2 * i + 1] - 1.0;
+        double t1 = x1 * x1 + x2 * x2;
+        if (t1 <= 1.0) {
+            double t2 = sqrt(-2.0 * log(t1) / t1);
+            double t3 = x1 * t2;
+            double t4 = x2 * t2;
+            int l = (int) fmax(fabs(t3), fabs(t4));
+            q[l] = q[l] + 1.0;
+            lsx = lsx + t3;
+            lsy = lsy + t4;
+        }
+    }
+    sx = lsx;
+    sy = lsy;
+}
+""" + (
+        k.checksum("verify", "x", "nvals")
+        + k.seq_recurrence("moment_filter", "x", "nvals")
+    ) + """
+int main(void) {
+    nvals = 12000;
+    vranlc();
+    gaussian_pairs();
+    double qsum = 0.5 * q[0] + 0.25 * q[1] + q[2];
+    print_double(sx + sy + qsum + moment_filter() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "EP", "NAS", source,
+        Expectation(ours_scalars=2, ours_histograms=1, icc=0),
+        original_strategy="coarse",
+        notes="the paper's running example (Figure 2)",
+    )
+
+
+def _ft() -> BenchmarkProgram:
+    n = 24
+    source = f"""
+int nvals;
+double re[{n * n}]; double im[{n * n}]; double twiddle[{n * n}];
+double scratch[{n * n}];
+""" + (
+        k.fill_formula("init_re", "re", "nvals")
+        + k.fill_formula("init_im", "im", "nvals", seed="0.44")
+        + k.fill_formula("init_tw", "twiddle", str(n * n), seed="0.29")
+        # Three constant-bound SCoPs (FFT butterflies as stencils).
+        + k.stencil2d("cffts1", "re", "scratch", n, coeff="0.31")
+        + k.transpose_const("transpose_xy", "re", "scratch", n)
+        + k.axpy_const("evolve", "twiddle", "im", n * n, alpha="0.99")
+        # Two checksum reductions (found by icc as well).
+        + k.plain_sum("checksum_re", "re", "nvals")
+        + k.dot_product("checksum_im", "im", "twiddle", "nvals")
+        + k.checksum("verify", "re", "nvals")
+    ) + """
+int main(void) {
+    nvals = 500;
+    init_re(); init_im(); init_tw();
+    cffts1(); transpose_xy(); evolve();
+    print_double(checksum_re() + checksum_im() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "FT", "NAS", source,
+        Expectation(ours_scalars=2, icc=2, scops=3),
+        notes="FFT checksum reductions",
+    )
+
+
+def _is() -> BenchmarkProgram:
+    source = """
+int nkeys; int maxkey; int nvals;
+int key_buff[1536]; int key_buff2[16384];
+double weights[16384];
+
+void create_seq(void) {
+    for (int i = 0; i < nkeys; i++) {
+        key_buff2[i] = (i * 211 + i / 7) % maxkey;
+    }
+}
+""" + (
+        k.fill_formula("init_weights", "weights", "nvals")
+        # The IS bottleneck (§6.1): a plain histogram without any
+        # complications, run over several ranking iterations.
+        + k.direct_histogram("rank_keys", "key_buff", "key_buff2", "nkeys")
+        + k.checksum("verify", "weights", "nvals")
+    ) + """
+int main(void) {
+    nkeys = 16384; maxkey = 1536; nvals = 700;
+    create_seq();
+    init_weights();
+    rank_keys(); rank_keys(); rank_keys(); rank_keys();
+    rank_keys(); rank_keys(); rank_keys(); rank_keys();
+    print_int(key_buff[0] + key_buff[1] + key_buff[1023]);
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "IS", "NAS", source,
+        Expectation(ours_histograms=1, icc=0),
+        original_strategy="bucketed",
+        notes="plain key-ranking histogram; icc finds nothing (§6.1)",
+    )
+
+
+def _lu() -> BenchmarkProgram:
+    n = 20
+    source = f"""
+int nvals;
+double u[{n * n}]; double rsd[{n * n}]; double frct[{n * n}];
+double flux[512]; double a_diag[512];
+""" + (
+        k.fill_formula("init_u", "u", str(n * n))
+        + k.fill_formula("init_rsd", "rsd", str(n * n), seed="0.23")
+        + k.fill_formula("init_flux", "flux", "nvals", seed="0.67")
+        + k.fill_formula("init_diag", "a_diag", "nvals", seed="0.13")
+        # Nine constant-bound SCoPs: the SSOR sweeps.
+        + k.stencil2d("blts_sweep", "u", "rsd", n, coeff="0.18")
+        + k.stencil2d("buts_sweep", "rsd", "u", n, coeff="0.17")
+        + k.stencil2d("jacld", "u", "frct", n, coeff="0.22")
+        + k.stencil2d("jacu", "frct", "rsd", n, coeff="0.16")
+        + k.stencil2d("rhs_x", "u", "frct", n, coeff="0.26")
+        + k.stencil1d("rhs_y_row", "u", "rsd", n * n)
+        + k.stencil1d("rhs_z_row", "rsd", "frct", n * n, coeff="0.4")
+        + k.axpy_const("ssor_update", "rsd", "u", n * n, alpha="1.2")
+        + k.transpose_const("pintgr_transpose", "u", "frct", n)
+        # Four scalar reductions (all icc-friendly).
+        + k.plain_sum("l2norm_flux", "flux", "nvals")
+        + k.guarded_sum("positive_diag", "a_diag", "nvals", thresh="0.3")
+        + k.dot_product("flux_dot_diag", "flux", "a_diag", "nvals")
+        + k.math_sum("sqrt_norm", "flux", "nvals", call="sqrt")
+        + k.checksum("verify", "u", "nvals")
+    ) + """
+int main(void) {
+    nvals = 400;
+    init_u(); init_rsd(); init_flux(); init_diag();
+    blts_sweep(); buts_sweep(); jacld(); jacu();
+    rhs_x(); rhs_y_row(); rhs_z_row(); ssor_update(); pintgr_transpose();
+    double s = l2norm_flux() + positive_diag() + flux_dot_diag()
+        + sqrt_norm();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "LU", "NAS", source,
+        Expectation(ours_scalars=4, icc=4, scops=9),
+        notes="SSOR stencil SCoPs + norm reductions",
+    )
+
+
+def _mg() -> BenchmarkProgram:
+    n = 22
+    source = f"""
+int nvals; int stride; int ncoarse;
+double v[{n * n}]; double r[{n * n}]; double z[{n * n}];
+double resid_hist[512];
+""" + (
+        k.fill_formula("init_v", "v", str(n * n))
+        + k.fill_formula("init_r", "r", str(n * n), seed="0.38")
+        + k.fill_formula("init_hist", "resid_hist", "nvals", seed="0.59")
+        # Eight constant-bound SCoPs: the multigrid cycle.
+        + k.stencil2d("psinv", "r", "z", n, coeff="0.23")
+        + k.stencil2d("resid", "v", "r", n, coeff="0.2")
+        + k.stencil2d("rprj3", "r", "z", n, coeff="0.12")
+        + k.stencil2d("interp", "z", "v", n, coeff="0.45")
+        + k.stencil1d("comm3_row", "v", "z", n * n)
+        + k.stencil1d("zero3_row", "z", "r", n * n, coeff="0.0")
+        + k.axpy_const("mg_update", "z", "v", n * n, alpha="1.1")
+        + k.axpy_const("residual_update", "r", "z", n * n, alpha="0.7")
+        # Three scalar reductions.
+        + k.plain_sum("norm2u3", "resid_hist", "nvals")
+        + k.math_sum("rnm2", "resid_hist", "nvals", call="sqrt")
+        + k.strided_sum("coarse_norm", "resid_hist", "ncoarse", "stride")
+        + k.checksum("verify", "v", "nvals")
+    ) + """
+int main(void) {
+    nvals = 400; stride = 2; ncoarse = 200;
+    init_v(); init_r(); init_hist();
+    psinv(); resid(); rprj3(); interp();
+    comm3_row(); zero3_row(); mg_update(); residual_update();
+    double s = norm2u3() + rnm2() + coarse_norm();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "MG", "NAS", source,
+        Expectation(ours_scalars=3, icc=3, scops=8),
+        notes="multigrid stencil SCoPs + residual norms",
+    )
+
+
+def _sp() -> BenchmarkProgram:
+    n = 20
+    source = f"""
+int nvals;
+double u[{n * n}]; double rhs[{n * n}]; double lhs[{n * n}];
+double rms[5]; double speeds[512]; double ws[512];
+""" + (
+        k.fill_formula("init_u", "u", str(n * n))
+        + k.fill_formula("init_rhs", "rhs", str(n * n), seed="0.31")
+        + k.fill_formula("init_speeds", "speeds", "nvals", seed="0.71")
+        + k.fill_formula("init_ws", "ws", "nvals", seed="0.19")
+        # Nine constant-bound SCoPs: the scalar-pentadiagonal sweeps.
+        + k.stencil2d("x_solve_sp", "u", "lhs", n, coeff="0.24")
+        + k.stencil2d("y_solve_sp", "lhs", "u", n, coeff="0.25")
+        + k.stencil2d("z_solve_sp", "u", "lhs", n, coeff="0.23")
+        + k.stencil2d("compute_rhs_sp", "u", "rhs", n, coeff="0.14")
+        + k.stencil2d("txinvr", "rhs", "lhs", n, coeff="0.33")
+        + k.stencil1d("ninvr_row", "u", "lhs", n * n)
+        + k.stencil1d("pinvr_row", "lhs", "rhs", n * n, coeff="0.6")
+        + k.axpy_const("add_sp", "rhs", "u", n * n, alpha="0.95")
+        + k.transpose_const("swap_xy", "u", "lhs", n)
+        # The rms error norm of §6.1 — found only by Polly.
+        + k.midnest_array_reduction("rhs_norm", "rhs", "rms", 8, 10, 5)
+        # Five scalar reductions, all fmin/fmax-laden: ours finds them,
+        # icc refuses the calls (hence "icc does not detect reductions
+        # in SP").
+        + k.fminmax_sum("max_speed", "speeds", "nvals", call="fmax")
+        + k.fminmax_sum("min_ws", "ws", "nvals", call="fmin")
+        + k.fminmax_guarded_sum("bounded_speed_energy", "speeds", "nvals",
+                                call="fmin")
+        + k.fminmax_guarded_sum("bounded_ws_energy", "ws", "nvals",
+                                call="fmax")
+        + k.fminmax_guarded_sum("dissipation", "speeds", "nvals",
+                                call="fmax")
+        + k.checksum("verify", "u", "nvals")
+    ) + """
+int main(void) {
+    nvals = 400;
+    init_u(); init_rhs(); init_speeds(); init_ws();
+    x_solve_sp(); y_solve_sp(); z_solve_sp(); compute_rhs_sp();
+    txinvr(); ninvr_row(); pinvr_row(); add_sp(); swap_xy();
+    rhs_norm();
+    double s = max_speed() + min_ws() + bounded_speed_energy()
+        + bounded_ws_energy() + dissipation();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "SP", "NAS", source,
+        Expectation(ours_scalars=5, icc=0, polly_reductions=1,
+                    scops=10, reduction_scops=1),
+        notes="fmin/fmax reductions block icc; Polly-only rms norm",
+    )
+
+
+def _ua() -> BenchmarkProgram:
+    source = """
+int nvals; int nelems;
+double mass[900]; double adapt[900]; double res[900]; double tmom[900];
+double diag[900]; int refine_idx[900];
+""" + (
+        k.fill_formula("init_mass", "mass", "nvals")
+        + k.fill_formula("init_adapt", "adapt", "nvals", seed="0.47")
+        + k.fill_formula("init_res", "res", "nvals", seed="0.09")
+        + k.fill_formula("init_tmom", "tmom", "nvals", seed="0.83")
+        + k.fill_formula("init_diag", "diag", "nvals", seed="0.57")
+        + k.fill_keys("init_refine", "refine_idx", "nvals", "900")
+        # Eight icc-friendly scalar reductions.
+        + k.plain_sum("total_mass", "mass", "nvals")
+        + k.plain_sum("total_moment", "tmom", "nvals")
+        + k.guarded_sum("adapted_mass", "adapt", "nvals", thresh="0.5")
+        + k.guarded_sum("refined_residual", "res", "nvals", thresh="0.2")
+        + k.dot_product("mass_dot_diag", "mass", "diag", "nvals")
+        + k.math_sum("residual_norm", "res", "nvals", call="sqrt")
+        + k.ternary_max("peak_adapt", "adapt", "nvals")
+        + k.count_if("count_refined", "adapt", "nvals", thresh="0.6")
+        # Three fmin/fmax reductions icc refuses.
+        + k.fminmax_sum("max_residual", "res", "nvals", call="fmax")
+        + k.fminmax_sum("min_diag", "diag", "nvals", call="fmin")
+        + k.fminmax_guarded_sum("utol_energy", "adapt", "nvals",
+                                call="fmax")
+        # The unstructured gather nobody detects.
+        + k.gather_sum("gather_refined", "mass", "refine_idx", "nelems")
+        + k.checksum("verify", "mass", "nvals")
+    ) + """
+int main(void) {
+    nvals = 700; nelems = 500;
+    init_mass(); init_adapt(); init_res(); init_tmom(); init_diag();
+    init_refine();
+    double s = total_mass() + total_moment() + adapted_mass()
+        + refined_residual() + mass_dot_diag() + residual_norm()
+        + peak_adapt() + count_refined() + max_residual() + min_diag()
+        + utol_energy() + gather_refined();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "UA", "NAS", source,
+        Expectation(ours_scalars=11, icc=8),
+        notes="the most reductions in NAS (11, §6.1)",
+    )
+
+
+def build_suite() -> list[BenchmarkProgram]:
+    """All ten NAS programs."""
+    return [_bt(), _cg(), _dc(), _ep(), _ft(), _is(), _lu(), _mg(),
+            _sp(), _ua()]

@@ -1,0 +1,411 @@
+"""Parboil benchmark corpus (11 programs).
+
+Paper ground truth (Fig. 8b, Fig. 10, Fig. 13): reductions in exactly
+five programs — cutcp (7, the suite maximum), histo and tpacf (one
+histogram each), mri-q and sgemm (one scalar each); icc finds 3 (one in
+each of cutcp/mri-q/sgemm — the fmin/fmax calls hide the rest of
+cutcp); Polly finds only sgemm's; 6 SCoPs total, none in 7 of 11
+programs.
+"""
+
+from __future__ import annotations
+
+from . import kernels as k
+from .spec import BenchmarkProgram, Expectation
+
+
+def _bfs() -> BenchmarkProgram:
+    source = """
+int nnodes; int nedges;
+int edge_dst[2048]; int node_cost[512]; int frontier[512]; int next_frontier[512];
+double weights[2048];
+""" + (
+        k.fill_keys("init_edges", "edge_dst", "nedges", "512")
+        + k.fill_formula("init_weights", "weights", "nedges")
+        + """
+// Frontier propagation: scatter writes through the edge list.  The
+// indirect overwrite is not a read-modify-write, so it is not a
+// histogram; nothing here is a reduction.
+void bfs_step(void) {
+    for (int e = 0; e < nedges; e++) {
+        int dst = edge_dst[e];
+        if (node_cost[dst] == 0) {
+            next_frontier[dst] = 1;
+        }
+    }
+}
+"""
+        + k.checksum("verify", "weights", "nedges")
+    ) + """
+int main(void) {
+    nnodes = 400; nedges = 1600;
+    init_edges(); init_weights();
+    bfs_step(); bfs_step();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "bfs", "Parboil", source,
+        Expectation(),
+        notes="indirect frontier scatter; no reductions anywhere",
+    )
+
+
+def _cutcp() -> BenchmarkProgram:
+    source = """
+int natoms; int ngrid;
+double atom_q[1024]; double atom_x[1024]; double atom_y[1024];
+double grid_pot[1024]; double cell_d[1024];
+""" + (
+        k.fill_formula("init_q", "atom_q", "natoms")
+        + k.fill_formula("init_x", "atom_x", "natoms", seed="0.37")
+        + k.fill_formula("init_y", "atom_y", "natoms", seed="0.73")
+        + k.fill_formula("init_d", "cell_d", "natoms", seed="0.21")
+        # Seven reductions: cutoff potential sums.  Six involve
+        # fmin/fmax (icc refuses the unknown calls, §6.1); one is a
+        # plain sum icc accepts.
+        + k.plain_sum("total_charge", "atom_q", "natoms")
+        + k.fminmax_sum("max_coord_x", "atom_x", "natoms", call="fmax")
+        + k.fminmax_sum("max_coord_y", "atom_y", "natoms", call="fmax")
+        + k.fminmax_sum("min_cell_d", "cell_d", "natoms", call="fmin")
+        + k.fminmax_guarded_sum("cutoff_pot_x", "atom_x", "natoms",
+                                call="fmin")
+        + k.fminmax_guarded_sum("cutoff_pot_y", "atom_y", "natoms",
+                                call="fmin")
+        + k.fminmax_guarded_sum("cutoff_energy", "atom_q", "natoms",
+                                call="fmax")
+        + k.scale_map("spread_charge", "atom_q", "grid_pot", "natoms")
+        + """
+// The cutoff lattice sweep dominates cutcp's runtime; it scatters
+// exponentially decayed contributions (overwrites, so no reduction).
+void lattice_sweep(void) {
+    for (int i = 0; i < natoms; i++) {
+        double decay = exp(0.0 - cell_d[i]);
+        for (int w = 0; w < 16; w++) {
+            grid_pot[(i * 16 + w) % 1024] = atom_q[i] * decay;
+        }
+    }
+}
+"""
+        + k.checksum("verify", "grid_pot", "natoms")
+    ) + """
+int main(void) {
+    natoms = 900;
+    init_q(); init_x(); init_y(); init_d();
+    spread_charge();
+    lattice_sweep();
+    double s = total_charge() + max_coord_x() + max_coord_y()
+        + min_cell_d() + cutoff_pot_x() + cutoff_pot_y()
+        + cutoff_energy();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "cutcp", "Parboil", source,
+        Expectation(ours_scalars=7, icc=1),
+        notes="suite maximum (7); fmin/fmax hides 6 of them from icc",
+    )
+
+
+def _histo() -> BenchmarkProgram:
+    source = """
+int npixels; int nbins; int nvals;
+double img[32768]; int hist[3000];
+""" + (
+        k.fill_formula("init_img", "img", "npixels", seed="0.433")
+        # The benchmark's eponymous kernel: bin from pixel intensity.
+        + k.image_histogram("compute_histo", "hist", "img", "npixels",
+                            "nbins")
+        + k.checksum("verify", "img", "nvals")
+    ) + """
+int main(void) {
+    npixels = 24000; nbins = 3000; nvals = 900;
+    init_img();
+    compute_histo(); compute_histo();
+    print_int(hist[0] + hist[1] + hist[2999]);
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "histo", "Parboil", source,
+        Expectation(ours_histograms=1),
+        original_strategy="atomic",
+        notes="image histogram; privatization-limited speedup (§6.3)",
+    )
+
+
+def _lbm() -> BenchmarkProgram:
+    n = 18
+    source = f"""
+int ncells;
+double src_grid[{n * n}]; double dst_grid[{n * n}]; double flags[{n * n}];
+""" + (
+        k.fill_formula("init_grid", "src_grid", "ncells")
+        + k.fill_formula("init_flags", "flags", "ncells", seed="0.61")
+        + """
+// The collide-stream kernel: data-dependent branching on cell flags,
+// neighbour writes — no reductions.
+void collide_stream(void) {
+    for (int i = 1; i < ncells - 1; i++) {
+        double rho = src_grid[i - 1] + src_grid[i] + src_grid[i + 1];
+        if (flags[i] > 0.5) {
+            dst_grid[i] = rho * 0.333;
+        } else {
+            dst_grid[i] = src_grid[i];
+        }
+    }
+}
+"""
+        + k.axpy_const("relax_update", "src_grid", "dst_grid", n * n,
+                       alpha="0.6")
+        + k.checksum("verify", "dst_grid", "ncells")
+    ) + """
+int main(void) {
+    ncells = 300;
+    init_grid(); init_flags();
+    collide_stream(); relax_update();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "lbm", "Parboil", source,
+        Expectation(scops=1),
+        notes="flag-dependent streaming; one constant-bound SCoP",
+    )
+
+
+def _mri_gridding() -> BenchmarkProgram:
+    source = """
+int nsamples;
+double sample_re[2048]; double sample_kx[2048]; double grid_re[1024];
+""" + (
+        k.fill_formula("init_re", "sample_re", "nsamples")
+        + k.fill_formula("init_kx", "sample_kx", "nsamples", seed="0.53")
+        + """
+// Gridding: scatter each sample to its nearest grid cell.  The write
+// is an overwrite (no read-modify-write), so no histogram is formed.
+void grid_samples(void) {
+    for (int i = 0; i < nsamples; i++) {
+        int cell = (int) (sample_kx[i] * 1023.0);
+        grid_re[cell] = sample_re[i];
+    }
+}
+"""
+        + k.checksum("verify", "sample_re", "nsamples")
+    ) + """
+int main(void) {
+    nsamples = 1200;
+    init_re(); init_kx();
+    grid_samples();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "mri-gridding", "Parboil", source,
+        Expectation(),
+        notes="indirect scatter overwrite: not a reduction",
+    )
+
+
+def _mri_q() -> BenchmarkProgram:
+    source = """
+int nk;
+double phi_r[2048]; double k_space[2048];
+""" + (
+        k.fill_formula("init_phi", "phi_r", "nk")
+        + k.fill_formula("init_k", "k_space", "nk", seed="0.77")
+        + """
+// The Q-matrix accumulation: a cosine-weighted sum (icc knows cos).
+double compute_q(void) {
+    double q = 0.0;
+    for (int i = 0; i < nk; i++) {
+        q = q + phi_r[i] * cos(k_space[i]);
+    }
+    return q;
+}
+"""
+        + k.checksum("verify", "phi_r", "nk")
+    ) + """
+int main(void) {
+    nk = 1100;
+    init_phi(); init_k();
+    print_double(compute_q() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "mri-q", "Parboil", source,
+        Expectation(ours_scalars=1, icc=1),
+        notes="trigonometric weighted sum",
+    )
+
+
+def _sad() -> BenchmarkProgram:
+    source = """
+int nblocks; int bwidth;
+double cur_frame[4096]; double ref_frame[4096]; double sad_out[4096];
+double blk[1024];
+""" + (
+        k.fill_formula("init_cur", "cur_frame", "nblocks * bwidth")
+        + k.fill_formula("init_ref", "ref_frame", "nblocks * bwidth",
+                         seed="0.41")
+        + k.blocked_abs_diff("compute_sad", "cur_frame", "ref_frame",
+                             "sad_out", "nblocks", "bwidth")
+        + k.transpose_const("reorder_blocks", "blk", "sad_out", 32)
+        + k.checksum("verify", "sad_out", "nblocks")
+    ) + """
+int main(void) {
+    nblocks = 100; bwidth = 16;
+    init_cur(); init_ref();
+    compute_sad(); reorder_blocks();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "sad", "Parboil", source,
+        Expectation(scops=1),
+        notes="per-position accumulation is a parallel write, not a "
+              "reduction",
+    )
+
+
+def _sgemm() -> BenchmarkProgram:
+    n = 24
+    source = f"""
+int nvals;
+double mat_a[{n * n}]; double mat_b[{n * n}]; double mat_c[{n * n}];
+""" + (
+        k.fill_formula("init_a", "mat_a", str(n * n))
+        + k.fill_formula("init_b", "mat_b", str(n * n), seed="0.36")
+        # The whole benchmark is one constant-bound matrix multiply: a
+        # SCoP whose inner loop is the one Parboil reduction Polly
+        # finds (§6.1); icc and we find it too.
+        + k.sgemm_kernel("sgemm_main", "mat_a", "mat_b", "mat_c", n)
+        + k.axpy_const("beta_scale", "mat_a", "mat_c", n * n, alpha="0.1")
+        + k.checksum("verify", "mat_c", "nvals")
+    ) + """
+int main(void) {
+    nvals = 500;
+    init_a(); init_b();
+    sgemm_main(); beta_scale();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "sgemm", "Parboil", source,
+        Expectation(ours_scalars=1, icc=1, polly_reductions=1, scops=2,
+                    reduction_scops=1),
+        notes="the scalar-reduction runtime exception of §6.2",
+    )
+
+
+def _spmv() -> BenchmarkProgram:
+    source = """
+int nrows; int nnz;
+double csr_vals[4096]; int csr_cols[4096]; double vec_x[1024];
+double vec_y[1024];
+""" + (
+        k.fill_formula("init_vals", "csr_vals", "nnz")
+        + k.fill_formula("init_x", "vec_x", "nrows", seed="0.58")
+        + k.fill_keys("init_cols", "csr_cols", "nnz", "1024")
+        # The sparse matvec gather: §3.1.1 condition 3 (affine reads)
+        # fails, so even our detector reports nothing — as in Fig. 8b.
+        + k.gather_sum("spmv_kernel", "vec_x", "csr_cols", "nnz")
+        + k.scale_map("scale_y", "vec_x", "vec_y", "nrows")
+        + k.checksum("verify", "vec_y", "nrows")
+    ) + """
+int main(void) {
+    nrows = 800; nnz = 3000;
+    init_vals(); init_x(); init_cols();
+    double s = spmv_kernel();
+    scale_y();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "spmv", "Parboil", source,
+        Expectation(),
+        notes="gather sums fail the affine-read condition for all tools",
+    )
+
+
+def _stencil() -> BenchmarkProgram:
+    n = 26
+    source = f"""
+int nvals;
+double grid_in[{n * n}]; double grid_out[{n * n}];
+""" + (
+        k.fill_formula("init_grid", "grid_in", str(n * n))
+        + k.stencil2d("stencil_step_a", "grid_in", "grid_out", n,
+                      coeff="0.24")
+        + k.stencil2d("stencil_step_b", "grid_out", "grid_in", n,
+                      coeff="0.26")
+        + k.checksum("verify", "grid_in", "nvals")
+    ) + """
+int main(void) {
+    nvals = 600;
+    init_grid();
+    stencil_step_a(); stencil_step_b();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "stencil", "Parboil", source,
+        Expectation(scops=2),
+        notes="pure stencil: SCoPs without reductions",
+    )
+
+
+def _tpacf() -> BenchmarkProgram:
+    source = """
+int npoints; int nbins; int nvals;
+double angles[16384]; double bin_bounds[64]; double hist[64];
+""" + (
+        k.fill_formula("init_angles", "angles", "npoints", seed="0.214")
+        + """
+void init_bins(void) {
+    for (int b = 0; b < nbins; b++) {
+        bin_bounds[b] = (b + 1.0) / nbins;
+    }
+}
+"""
+        # The angular-correlation histogram: bin via binary search in
+        # the precomputed boundary array (§6.1: "the most interesting
+        # example").
+        + k.binsearch_histogram("correlate", "hist", "bin_bounds",
+                                "angles", "npoints", "nbins")
+        + k.checksum("verify", "angles", "nvals")
+    ) + """
+int main(void) {
+    npoints = 16000; nbins = 60; nvals = 400;
+    init_angles(); init_bins();
+    correlate(); correlate(); correlate(); correlate();
+    correlate(); correlate(); correlate(); correlate();
+    print_double(hist[0] + hist[30] + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "tpacf", "Parboil", source,
+        Expectation(ours_histograms=1),
+        original_strategy="critical",
+        notes="binary-search histogram; original uses a critical "
+              "section and slows down (§6.3)",
+    )
+
+
+def build_suite() -> list[BenchmarkProgram]:
+    """All eleven Parboil programs."""
+    return [
+        _bfs(), _cutcp(), _histo(), _lbm(), _mri_gridding(), _mri_q(),
+        _sad(), _sgemm(), _spmv(), _stencil(), _tpacf(),
+    ]

@@ -1,0 +1,667 @@
+"""Rodinia benchmark corpus (19 programs).
+
+Paper ground truth (Fig. 8c, Fig. 11, Fig. 14): reductions in 15 of 19
+programs, particlefilter carrying the most (9); one histogram (kmeans'
+membership count, whose parallelizing transform fails on the multiple
+histogram updates in a nested loop, §6.3); icc finds 23; Polly finds
+only leukocyte's reduction; 14 SCoPs across 7 programs.
+"""
+
+from __future__ import annotations
+
+from . import kernels as k
+from .spec import BenchmarkProgram, Expectation
+
+
+def _backprop() -> BenchmarkProgram:
+    source = """
+int nunits;
+double weights[1024]; double deltas[1024]; double hidden[1024];
+""" + (
+        k.fill_formula("init_w", "weights", "nunits")
+        + k.fill_formula("init_d", "deltas", "nunits", seed="0.42")
+        + k.fill_formula("init_h", "hidden", "nunits", seed="0.66")
+        + k.plain_sum("sum_weights", "weights", "nunits")
+        + k.dot_product("weighted_error", "weights", "deltas", "nunits")
+        + k.fminmax_sum("max_delta", "deltas", "nunits", call="fmax")
+        + k.checksum("verify", "hidden", "nunits")
+    ) + """
+int main(void) {
+    nunits = 800;
+    init_w(); init_d(); init_h();
+    double s = sum_weights() + weighted_error() + max_delta();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "backprop", "Rodinia", source,
+        Expectation(ours_scalars=3, icc=2),
+    )
+
+
+def _bfs_rodinia() -> BenchmarkProgram:
+    source = """
+int nnodes;
+int visited[1024]; double node_cost[1024];
+""" + (
+        k.fill_formula("init_cost", "node_cost", "nnodes")
+        + k.fill_keys("init_visited", "visited", "nnodes", "2")
+        + """
+// Count of visited nodes: an integer reduction.
+int count_visited(void) {
+    int count = 0;
+    for (int i = 0; i < nnodes; i++) {
+        if (visited[i] == 1) {
+            count = count + 1;
+        }
+    }
+    return count;
+}
+"""
+        + k.fminmax_sum("max_cost", "node_cost", "nnodes", call="fmax")
+        + k.checksum("verify", "node_cost", "nnodes")
+    ) + """
+int main(void) {
+    nnodes = 900;
+    init_cost(); init_visited();
+    print_double(count_visited() + max_cost() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "bfs", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+    )
+
+
+def _btree() -> BenchmarkProgram:
+    source = """
+int nkeys; int nqueries;
+int keys[2048]; int queries[512]; int answers[512];
+""" + (
+        k.fill_keys("init_keys", "keys", "nkeys", "100000")
+        + k.fill_keys("init_queries", "queries", "nqueries", "100000")
+        + """
+// Search queries against the sorted key array: while-loop searches,
+// overwrite answers — no reductions.
+void run_queries(void) {
+    for (int q = 0; q < nqueries; q++) {
+        int target = queries[q];
+        int lo = 0;
+        int hi = nkeys;
+        while (lo < hi) {
+            int mid = (lo + hi) / 2;
+            if (keys[mid] < target) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        answers[q] = lo;
+    }
+}
+"""
+    ) + """
+int main(void) {
+    nkeys = 1500; nqueries = 300;
+    init_keys(); init_queries();
+    run_queries();
+    print_int(answers[0] + answers[299]);
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "b+tree", "Rodinia", source,
+        Expectation(),
+        notes="search-only workload: no reductions (Fig. 8c)",
+    )
+
+
+def _cfd() -> BenchmarkProgram:
+    source = """
+int ncells;
+double density[1024]; double momentum[1024]; double energy[1024];
+""" + (
+        k.fill_formula("init_density", "density", "ncells")
+        + k.fill_formula("init_momentum", "momentum", "ncells", seed="0.48")
+        + k.fill_formula("init_energy", "energy", "ncells", seed="0.12")
+        + k.plain_sum("total_density", "density", "ncells")
+        + k.math_sum("momentum_norm", "momentum", "ncells", call="sqrt")
+        + k.fminmax_guarded_sum("bounded_energy", "energy", "ncells",
+                                call="fmin")
+        + k.checksum("verify", "energy", "ncells")
+    ) + """
+int main(void) {
+    ncells = 900;
+    init_density(); init_momentum(); init_energy();
+    double s = total_density() + momentum_norm() + bounded_energy();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "cfd", "Rodinia", source,
+        Expectation(ours_scalars=3, icc=2),
+    )
+
+
+def _heartwall() -> BenchmarkProgram:
+    source = """
+int npoints;
+double frame[2048]; double tmpl[2048];
+""" + (
+        k.fill_formula("init_frame", "frame", "npoints")
+        + k.fill_formula("init_template", "tmpl", "npoints", seed="0.56")
+        + k.guarded_sum("correlation", "frame", "npoints", thresh="0.3")
+        + k.fminmax_sum("peak_response", "tmpl", "npoints", call="fmax")
+        + k.checksum("verify", "frame", "npoints")
+    ) + """
+int main(void) {
+    npoints = 1000;
+    init_frame(); init_template();
+    print_double(correlation() + peak_response() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "heartwall", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+    )
+
+
+def _hotspot() -> BenchmarkProgram:
+    n = 24
+    source = f"""
+int nvals;
+double temp[{n * n}]; double power[{n * n}];
+""" + (
+        k.fill_formula("init_temp", "temp", str(n * n))
+        + k.fill_formula("init_power", "power", str(n * n), seed="0.71")
+        + k.stencil2d("diffuse_step", "temp", "power", n, coeff="0.2")
+        + k.stencil2d("power_step", "power", "temp", n, coeff="0.22")
+        + k.checksum("verify", "temp", "nvals")
+    ) + """
+int main(void) {
+    nvals = 500;
+    init_temp(); init_power();
+    diffuse_step(); power_step();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "hotspot", "Rodinia", source,
+        Expectation(scops=2),
+        notes="pure thermal stencil: SCoPs, no reductions",
+    )
+
+
+def _hotspot3d() -> BenchmarkProgram:
+    n = 20
+    source = f"""
+int nvals;
+double temp3d[{n * n}]; double power3d[{n * n}]; double layer[1024];
+double sink[1024];
+""" + (
+        k.fill_formula("init_temp", "temp3d", str(n * n))
+        + k.fill_formula("init_layer", "layer", "nvals", seed="0.39")
+        + k.fill_formula("init_sink", "sink", "nvals", seed="0.93")
+        + k.stencil2d("diffuse_z0", "temp3d", "power3d", n, coeff="0.19")
+        + k.stencil2d("diffuse_z1", "power3d", "temp3d", n, coeff="0.21")
+        + k.plain_sum("layer_heat", "layer", "nvals")
+        + k.dot_product("sink_transfer", "layer", "sink", "nvals")
+        + k.checksum("verify", "temp3d", "nvals")
+    ) + """
+int main(void) {
+    nvals = 400;
+    init_temp(); init_layer(); init_sink();
+    diffuse_z0(); diffuse_z1();
+    print_double(layer_heat() + sink_transfer() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "hotspot3D", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=2, scops=2),
+    )
+
+
+def _kmeans() -> BenchmarkProgram:
+    # The §6.3 failure case: the point-assignment loop carries the
+    # membership-count histogram (detected) *and* per-feature centre
+    # accumulations in a nested loop (additional uncovered stores), so
+    # the parallelizing transform must refuse the loop.
+    source = """
+int npoints; int nclusters; int nfeatures; int nvals;
+double features[8192]; double clusters[256]; double csum[256];
+double member_count[32]; double wcss_terms[2048];
+int deltas[2048];
+
+void assign_points(void) {
+    for (int i = 0; i < npoints; i++) {
+        int best = 0;
+        double bestd = 1000000000.0;
+        for (int c = 0; c < nclusters; c++) {
+            double d = 0.0;
+            for (int f = 0; f < nfeatures; f++) {
+                double diff = features[i * nfeatures + f]
+                    - clusters[c * nfeatures + f];
+                d = d + diff * diff;
+            }
+            if (d < bestd) {
+                bestd = d;
+                best = c;
+            }
+        }
+        for (int f = 0; f < nfeatures; f++) {
+            csum[best * nfeatures + f] = csum[best * nfeatures + f]
+                + features[i * nfeatures + f];
+        }
+        member_count[best] = member_count[best] + 1.0;
+    }
+}
+""" + (
+        k.fill_formula("init_features", "features", "npoints * nfeatures")
+        + k.fill_formula("init_clusters", "clusters",
+                         "nclusters * nfeatures", seed="0.83")
+        + k.fill_formula("init_wcss", "wcss_terms", "nvals", seed="0.29")
+        + k.fill_keys("init_deltas", "deltas", "nvals", "2")
+        + k.plain_sum("wcss", "wcss_terms", "nvals")
+        + k.count_if("delta_count", "wcss_terms", "nvals", thresh="0.5")
+        + k.checksum("verify", "features", "nvals")
+    ) + """
+int main(void) {
+    npoints = 600; nclusters = 8; nfeatures = 12; nvals = 600;
+    init_features(); init_clusters(); init_wcss(); init_deltas();
+    assign_points();
+    print_double(member_count[0] + member_count[7] + wcss()
+        + delta_count() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "kmeans", "Rodinia", source,
+        Expectation(ours_scalars=3, ours_histograms=1, icc=3),
+        original_strategy="reduction",
+        notes="membership histogram detected; transform fails on the "
+              "nested centre updates (§6.3)",
+    )
+
+
+def _lavamd() -> BenchmarkProgram:
+    source = """
+int nparticles;
+double charge[1024]; double distance[1024];
+""" + (
+        k.fill_formula("init_charge", "charge", "nparticles")
+        + k.fill_formula("init_distance", "distance", "nparticles",
+                         seed="0.27")
+        + k.math_sum("potential", "charge", "nparticles", call="exp")
+        + k.fminmax_sum("min_distance", "distance", "nparticles",
+                        call="fmin")
+        + k.checksum("verify", "distance", "nparticles")
+    ) + """
+int main(void) {
+    nparticles = 900;
+    init_charge(); init_distance();
+    print_double(potential() + min_distance() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "lavaMD", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+    )
+
+
+def _leukocyte() -> BenchmarkProgram:
+    n = 24
+    source = f"""
+int nvals;
+double gicov[576]; double img_grad[{n * n}]; double dilated[{n * n}];
+double snake_energy[1024]; double cell_force[1024];
+""" + (
+        k.fill_formula("init_gicov", "gicov", str(24 * 24))
+        + k.fill_formula("init_grad", "img_grad", str(n * n), seed="0.34")
+        + k.fill_formula("init_energy", "snake_energy", "nvals", seed="0.88")
+        + k.fill_formula("init_force", "cell_force", "nvals", seed="0.16")
+        # The constant-bound GICOV sum: the one Rodinia reduction in a
+        # SCoP, found by Polly (and by icc and by us).
+        + k.plain_sum("gicov_score", "gicov", str(24 * 24))
+        + k.plain_sum("snake_total", "snake_energy", "nvals")
+        + k.fminmax_sum("max_gradient", "cell_force", "nvals", call="fmax")
+        + k.fminmax_guarded_sum("bounded_force", "cell_force", "nvals",
+                                call="fmin")
+        # Two more constant-bound SCoPs without reductions.
+        + k.stencil2d("dilate_image", "img_grad", "dilated", n,
+                      coeff="0.25")
+        + k.transpose_const("rotate_window", "img_grad", "dilated", n)
+        + k.checksum("verify", "img_grad", "nvals")
+    ) + """
+int main(void) {
+    nvals = 500;
+    init_gicov(); init_grad(); init_energy(); init_force();
+    dilate_image(); rotate_window();
+    double s = gicov_score() + snake_total() + max_gradient()
+        + bounded_force();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "leukocyte", "Rodinia", source,
+        Expectation(ours_scalars=4, icc=2, polly_reductions=1, scops=3,
+                    reduction_scops=1),
+        notes="Polly's one Rodinia reduction (constant-bound GICOV sum)",
+    )
+
+
+def _lud() -> BenchmarkProgram:
+    source = """
+int matdim;
+double lumat[4096]; double workrow[64]; double workcol[64];
+""" + (
+        k.fill_formula("init_mat", "lumat", "matdim * matdim")
+        + """
+// In-place factorization: the row updates read and write the same
+// matrix, so every tool sees unresolvable dependences — no reductions.
+void factorize(void) {
+    for (int p = 0; p < matdim - 1; p++) {
+        for (int i = p + 1; i < matdim; i++) {
+            lumat[i * matdim + p] = lumat[i * matdim + p]
+                / lumat[p * matdim + p];
+            for (int j = p + 1; j < matdim; j++) {
+                lumat[i * matdim + j] = lumat[i * matdim + j]
+                    - lumat[i * matdim + p] * lumat[p * matdim + j];
+            }
+        }
+    }
+}
+"""
+        + k.stencil1d("smooth_row", "workrow", "workcol", 64)
+        + k.axpy_const("scale_col", "workrow", "workcol", 64, alpha="0.4")
+        + k.checksum("verify", "lumat", "matdim")
+    ) + """
+int main(void) {
+    matdim = 24;
+    init_mat();
+    factorize(); smooth_row(); scale_col();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "lud", "Rodinia", source,
+        Expectation(scops=2),
+        notes="in-place factorization: dependences block everything",
+    )
+
+
+def _mummergpu() -> BenchmarkProgram:
+    source = """
+int nqueries;
+int match_len[1024]; double scores[1024];
+""" + (
+        k.fill_keys("init_matches", "match_len", "nqueries", "64")
+        + k.fill_formula("init_scores", "scores", "nqueries", seed="0.62")
+        + k.count_if("count_hits", "scores", "nqueries", thresh="0.8")
+        + k.fminmax_sum("best_score", "scores", "nqueries", call="fmax")
+        + k.checksum("verify", "scores", "nqueries")
+    ) + """
+int main(void) {
+    nqueries = 900;
+    init_matches(); init_scores();
+    print_double(count_hits() + best_score() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "mummergpu", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+    )
+
+
+def _myocyte() -> BenchmarkProgram:
+    source = """
+int nstates;
+double state[512]; double rates[512];
+""" + (
+        k.fill_formula("init_state", "state", "nstates")
+        + k.fill_formula("init_rates", "rates", "nstates", seed="0.74")
+        + k.plain_sum("total_concentration", "state", "nstates")
+        + k.fminmax_sum("peak_rate", "rates", "nstates", call="fmax")
+        + k.seq_recurrence("integrate_step", "rates", "nstates")
+        + k.checksum("verify", "state", "nstates")
+    ) + """
+int main(void) {
+    nstates = 450;
+    init_state(); init_rates();
+    double s = total_concentration() + peak_rate()
+        + integrate_step();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "myocyte", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+        notes="the ODE recurrence is sequential and correctly ignored",
+    )
+
+
+def _nn() -> BenchmarkProgram:
+    source = """
+int nrecords;
+double distances[2048];
+""" + (
+        k.fill_formula("init_dist", "distances", "nrecords")
+        + k.ternary_max("nearest", "distances", "nrecords", greater=False)
+        + k.checksum("verify", "distances", "nrecords")
+    ) + """
+int main(void) {
+    nrecords = 1200;
+    init_dist();
+    print_double(nearest() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "nn", "Rodinia", source,
+        Expectation(ours_scalars=1, icc=1),
+        notes="nearest-neighbour minimum via compare+select",
+    )
+
+
+def _nw() -> BenchmarkProgram:
+    source = """
+int seqlen;
+double dp_table[4096]; double penalties[1024]; double refline[64];
+double outline[64];
+""" + (
+        k.fill_formula("init_penalties", "penalties", "seqlen")
+        + k.fill_formula("init_dp", "dp_table", "seqlen * seqlen")
+        + """
+// Wavefront DP: dp[i][j] depends on dp[i-1][j-1] — loop carried
+// through memory, no reduction.
+void fill_table(void) {
+    for (int i = 1; i < seqlen; i++) {
+        for (int j = 1; j < seqlen; j++) {
+            double diag = dp_table[(i - 1) * seqlen + j - 1];
+            double up = dp_table[(i - 1) * seqlen + j];
+            double best = diag > up ? diag : up;
+            dp_table[i * seqlen + j] = best + penalties[j];
+        }
+    }
+}
+"""
+        + k.plain_sum("alignment_score", "penalties", "seqlen")
+        + k.axpy_const("boundary_update", "refline", "outline", 64,
+                       alpha="0.8")
+        + k.checksum("verify", "dp_table", "seqlen")
+    ) + """
+int main(void) {
+    seqlen = 40;
+    init_penalties(); init_dp();
+    fill_table(); boundary_update();
+    print_double(alignment_score() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "nw", "Rodinia", source,
+        Expectation(ours_scalars=1, icc=1, scops=1),
+    )
+
+
+def _particlefilter() -> BenchmarkProgram:
+    source = """
+int nparticles;
+double weights_pf[2048]; double xpos[2048]; double ypos[2048];
+double likelihood[2048]; double noise[2048];
+""" + (
+        k.fill_formula("init_weights", "weights_pf", "nparticles")
+        + k.fill_formula("init_x", "xpos", "nparticles", seed="0.15")
+        + k.fill_formula("init_y", "ypos", "nparticles", seed="0.85")
+        + k.fill_formula("init_like", "likelihood", "nparticles",
+                         seed="0.49")
+        + k.fill_formula("init_noise", "noise", "nparticles", seed="0.05")
+        # Nine reductions — the Rodinia maximum (§6.1).  Three are
+        # icc-friendly; six are hidden from icc by fmin/fmax.
+        + k.plain_sum("weight_sum", "weights_pf", "nparticles")
+        + k.dot_product("x_estimate", "xpos", "weights_pf", "nparticles")
+        + k.count_if("effective_particles", "weights_pf", "nparticles",
+                     thresh="0.5")
+        + k.fminmax_sum("max_weight", "weights_pf", "nparticles",
+                        call="fmax")
+        + k.fminmax_sum("min_likelihood", "likelihood", "nparticles",
+                        call="fmin")
+        + k.fminmax_sum("max_noise", "noise", "nparticles", call="fmax")
+        + k.fminmax_guarded_sum("bounded_x_var", "xpos", "nparticles",
+                                call="fmin")
+        + k.fminmax_guarded_sum("bounded_y_var", "ypos", "nparticles",
+                                call="fmin")
+        + k.fminmax_guarded_sum("resample_energy", "likelihood",
+                                "nparticles", call="fmax")
+        + k.checksum("verify", "weights_pf", "nparticles")
+    ) + """
+int main(void) {
+    nparticles = 1000;
+    init_weights(); init_x(); init_y(); init_like(); init_noise();
+    double s = weight_sum() + x_estimate() + effective_particles()
+        + max_weight() + min_likelihood() + max_noise()
+        + bounded_x_var() + bounded_y_var() + resample_energy();
+    print_double(s + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "particlefilter", "Rodinia", source,
+        Expectation(ours_scalars=9, icc=3),
+        notes="the Rodinia maximum: 9 reductions",
+    )
+
+
+def _pathfinder() -> BenchmarkProgram:
+    source = """
+int ncols;
+double wall[4096]; double dst_row[1024]; double src_row[1024];
+double edge_a[64]; double edge_b[64];
+""" + (
+        k.fill_formula("init_wall", "wall", "ncols")
+        + k.fill_formula("init_src", "src_row", "ncols", seed="0.68")
+        + """
+// Dynamic-programming min-path: the writes overwrite dst_row (no
+// read-modify-write) and fmin blocks icc anyway — no reductions.
+void path_step(void) {
+    for (int j = 1; j < ncols - 1; j++) {
+        double left = src_row[j - 1];
+        double mid = src_row[j];
+        double right = src_row[j + 1];
+        dst_row[j] = wall[j] + fmin(left, fmin(mid, right));
+    }
+}
+"""
+        + k.stencil1d("border_smooth", "edge_a", "edge_b", 64)
+        + k.stencil1d("border_relax", "edge_b", "edge_a", 64,
+                      coeff="0.25")
+        + k.checksum("verify", "dst_row", "ncols")
+    ) + """
+int main(void) {
+    ncols = 800;
+    init_wall(); init_src();
+    path_step();
+    border_smooth(); border_relax();
+    print_double(verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "pathfinder", "Rodinia", source,
+        Expectation(scops=2),
+        notes="DP overwrite, not a reduction",
+    )
+
+
+def _srad() -> BenchmarkProgram:
+    n = 22
+    source = f"""
+int nvals;
+double image[{n * n}]; double coefc[{n * n}]; double qsqr[1024];
+""" + (
+        k.fill_formula("init_image", "image", str(n * n))
+        + k.fill_formula("init_qsqr", "qsqr", "nvals", seed="0.54")
+        + k.stencil2d("diffusion_north", "image", "coefc", n, coeff="0.23")
+        + k.stencil2d("diffusion_south", "coefc", "image", n, coeff="0.27")
+        + k.plain_sum("mean_intensity", "qsqr", "nvals")
+        + k.fminmax_sum("max_gradient_srad", "qsqr", "nvals", call="fmax")
+        + k.checksum("verify", "image", "nvals")
+    ) + """
+int main(void) {
+    nvals = 400;
+    init_image(); init_qsqr();
+    diffusion_north(); diffusion_south();
+    print_double(mean_intensity() + max_gradient_srad() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "srad", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1, scops=2),
+    )
+
+
+def _streamcluster() -> BenchmarkProgram:
+    source = """
+int npoints_sc;
+double costs[2048]; double point_weight[2048];
+""" + (
+        k.fill_formula("init_costs", "costs", "npoints_sc")
+        + k.fill_formula("init_pw", "point_weight", "npoints_sc",
+                         seed="0.91")
+        + k.guarded_sum("open_cost", "costs", "npoints_sc", thresh="0.4")
+        + k.fminmax_guarded_sum("assign_cost", "point_weight",
+                                "npoints_sc", call="fmin")
+        + k.checksum("verify", "costs", "npoints_sc")
+    ) + """
+int main(void) {
+    npoints_sc = 950;
+    init_costs(); init_pw();
+    print_double(open_cost() + assign_cost() + verify());
+    return 0;
+}
+"""
+    return BenchmarkProgram(
+        "streamcluster", "Rodinia", source,
+        Expectation(ours_scalars=2, icc=1),
+    )
+
+
+def build_suite() -> list[BenchmarkProgram]:
+    """All nineteen Rodinia programs."""
+    return [
+        _backprop(), _bfs_rodinia(), _btree(), _cfd(), _heartwall(),
+        _hotspot(), _hotspot3d(), _kmeans(), _lavamd(), _leukocyte(),
+        _lud(), _mummergpu(), _myocyte(), _nn(), _nw(),
+        _particlefilter(), _pathfinder(), _srad(), _streamcluster(),
+    ]

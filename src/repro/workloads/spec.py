@@ -1,0 +1,66 @@
+"""Benchmark corpus schema.
+
+Each of the paper's 40 benchmark programs (NAS, Parboil, Rodinia) is
+reconstructed as a mini-C program whose *analysable features* match
+what the paper reports: the number and kind of reductions each tool
+should find, the SCoP population, and (for the performance subset) the
+runtime profile.  :class:`Expectation` records the per-tool ground
+truth; the test suite and the evaluation harness assert against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..frontend import compile_source
+from ..ir.module import Module
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """Ground-truth per-tool detection counts for one benchmark."""
+
+    #: Scalar reductions our constraint-based detector finds.
+    ours_scalars: int = 0
+    #: Histogram reductions our detector finds.
+    ours_histograms: int = 0
+    #: Scalar reductions the icc model reports (never histograms).
+    icc: int = 0
+    #: Reductions the Polly model finds inside SCoPs.
+    polly_reductions: int = 0
+    #: Total SCoPs Polly reports (Figures 9-11).
+    scops: int = 0
+    #: SCoPs carrying a reduction.
+    reduction_scops: int = 0
+
+    @property
+    def ours_total(self) -> int:
+        """All reductions our detector finds."""
+        return self.ours_scalars + self.ours_histograms
+
+
+@dataclass
+class BenchmarkProgram:
+    """One corpus program with its ground truth."""
+
+    name: str
+    suite: str
+    source: str
+    expectation: Expectation
+    #: Strategy of the original hand-parallelized version, for the
+    #: Figure 15 comparison: "coarse", "bucketed", "atomic",
+    #: "critical" or "reduction".
+    original_strategy: str | None = None
+    #: Which paper observation(s) this program encodes.
+    notes: str = ""
+    _module: Module | None = field(default=None, repr=False, compare=False)
+
+    def compile(self) -> Module:
+        """Compile (and cache) the program to SSA IR."""
+        if self._module is None:
+            self._module = compile_source(self.source, self.name)
+        return self._module
+
+    def fresh_module(self) -> Module:
+        """Compile without using the cache (for mutation-safe runs)."""
+        return compile_source(self.source, self.name)

@@ -1,0 +1,89 @@
+"""Hypothesis property tests for the Affine algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import Affine
+from repro.ir import DOUBLE, Value
+from repro.ir.types import INT64
+
+
+def _symbols():
+    # A small pool of distinct symbol objects shared across draws.
+    return [Value(INT64, f"s{i}") for i in range(4)]
+
+
+_POOL = _symbols()
+
+
+@st.composite
+def affines(draw):
+    result = Affine.constant(draw(st.integers(-5, 5)))
+    for symbol in _POOL[: draw(st.integers(0, 3))]:
+        coeff = draw(st.integers(-3, 3))
+        result = result + Affine.parameter(symbol).scaled(coeff)
+    return result
+
+
+@given(affines(), affines())
+@settings(max_examples=50, deadline=None)
+def test_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(affines(), affines(), affines())
+@settings(max_examples=50, deadline=None)
+def test_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(affines())
+@settings(max_examples=50, deadline=None)
+def test_subtraction_cancels(a):
+    assert (a - a) == Affine.constant(0)
+    assert not (a - a).terms
+
+
+@given(affines(), st.integers(-4, 4))
+@settings(max_examples=50, deadline=None)
+def test_scaling_matches_repeated_addition(a, k):
+    if k >= 0:
+        total = Affine.constant(0)
+        for _ in range(k):
+            total = total + a
+        assert a.scaled(k) == total
+
+
+@given(affines(), affines())
+@settings(max_examples=50, deadline=None)
+def test_multiplication_commutes_without_ivs(a, b):
+    assert a.multiply(b) == b.multiply(a)
+
+
+@given(affines(), affines(), affines())
+@settings(max_examples=30, deadline=None)
+def test_multiplication_distributes(a, b, c):
+    left = a.multiply(b + c)
+    right = a.multiply(b) + a.multiply(c)
+    assert left == right
+
+
+def test_iv_products_rejected():
+    iv1 = Value(INT64, "i")
+    iv2 = Value(INT64, "j")
+    a = Affine.induction(iv1)
+    b = Affine.induction(iv2)
+    assert a.multiply(b) is None
+    assert a.multiply(a) is None
+    # but IV times constant is fine
+    assert a.multiply(Affine.constant(3)).coefficient_of(iv1) == 3
+
+
+def test_parameter_product_flag():
+    p = Value(INT64, "p")
+    q = Value(INT64, "q")
+    product = Affine.parameter(p).multiply(Affine.parameter(q))
+    assert product is not None
+    assert product.has_parameter_products()
+    plain = Affine.parameter(p).scaled(3) + Affine.constant(1)
+    assert not plain.has_parameter_products()

@@ -1,0 +1,145 @@
+"""Tests for dominator/post-dominator trees, including a differential
+property test against networkx on random CFGs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import CFG, DominatorTree, dominance_frontiers
+from repro.ir import (
+    INT64,
+    FunctionType,
+    IRBuilder,
+    Module,
+    const_bool,
+    const_int,
+)
+
+
+def _diamond():
+    module = Module("m")
+    fn = module.add_function("f", FunctionType(INT64, ()), [])
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    join = fn.add_block("join")
+    b = IRBuilder(entry)
+    b.cond_br(const_bool(True), left, right)
+    IRBuilder(left).br(join)
+    IRBuilder(right).br(join)
+    IRBuilder(join).ret(const_int(0))
+    return fn, entry, left, right, join
+
+
+def test_diamond_dominators():
+    fn, entry, left, right, join = _diamond()
+    tree = DominatorTree.compute(fn)
+    assert tree.dominates(entry, join)
+    assert tree.dominates(entry, left)
+    assert not tree.dominates(left, join)
+    assert tree.idom[join] is entry
+    assert tree.strictly_dominates(entry, join)
+    assert not tree.strictly_dominates(entry, entry)
+
+
+def test_diamond_postdominators():
+    fn, entry, left, right, join = _diamond()
+    post = DominatorTree.compute_post(fn)
+    assert post.dominates(join, entry)
+    assert post.dominates(join, left)
+    assert not post.dominates(left, entry)
+
+
+def test_dominance_frontiers_of_diamond():
+    fn, entry, left, right, join = _diamond()
+    frontiers = dominance_frontiers(fn)
+    assert frontiers[left] == {join}
+    assert frontiers[right] == {join}
+    assert frontiers[entry] == set()
+
+
+def test_dom_tree_depth_and_children():
+    fn, entry, left, right, join = _diamond()
+    tree = DominatorTree.compute(fn)
+    assert tree.depth(entry) == 0
+    assert tree.depth(left) == 1
+    assert set(tree.children(entry)) == {left, right, join}
+
+
+def _build_function_from_edges(n_blocks: int, edges):
+    """Build an IR function with the given block-index CFG."""
+    module = Module("m")
+    fn = module.add_function("f", FunctionType(INT64, ()), [])
+    blocks = [fn.add_block(f"b{i}") for i in range(n_blocks)]
+    successors = {i: sorted({d for s, d in edges if s == i}) for i in
+                  range(n_blocks)}
+    for i, block in enumerate(blocks):
+        succ = successors[i]
+        b = IRBuilder(block)
+        if len(succ) == 0:
+            b.ret(const_int(0))
+        elif len(succ) == 1:
+            b.br(blocks[succ[0]])
+        else:
+            b.cond_br(const_bool(True), blocks[succ[0]], blocks[succ[1]])
+    return fn, blocks
+
+
+@st.composite
+def random_cfg(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    edges = set()
+    # A spine guarantees reachability of a chain; extra edges add joins
+    # and loops.
+    for i in range(n - 1):
+        edges.add((i, i + 1))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=8,
+    ))
+    edges.update((s, d) for s, d in extra)
+    # Cap out-degree at 2 (conditional branch limit).
+    capped = set()
+    out = {i: 0 for i in range(n)}
+    for s, d in sorted(edges):
+        if out[s] < 2:
+            capped.add((s, d))
+            out[s] += 1
+    return n, capped
+
+
+@given(random_cfg())
+@settings(max_examples=60, deadline=None)
+def test_dominators_match_networkx(cfg):
+    n, edges = cfg
+    fn, blocks = _build_function_from_edges(n, edges)
+    tree = DominatorTree.compute(fn)
+
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    reachable = nx.descendants(graph, 0) | {0}
+    reference = nx.immediate_dominators(graph, 0)
+
+    for i in reachable:
+        if i == 0:
+            assert tree.idom[blocks[0]] is None
+        else:
+            expected = reference[i]
+            assert tree.idom[blocks[i]] is blocks[expected]
+
+
+@given(random_cfg())
+@settings(max_examples=40, deadline=None)
+def test_dominance_is_partial_order(cfg):
+    n, edges = cfg
+    fn, blocks = _build_function_from_edges(n, edges)
+    tree = DominatorTree.compute(fn)
+    reachable = CFG(fn).reachable()
+    nodes = [b for b in blocks if b in reachable]
+    for a in nodes:
+        assert tree.dominates(a, a)
+        for b in nodes:
+            if tree.dominates(a, b) and tree.dominates(b, a):
+                assert a is b

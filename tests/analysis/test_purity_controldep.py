@@ -1,0 +1,115 @@
+"""Tests for purity analysis and control dependences."""
+
+from repro.analysis.controldep import control_dependences, controlling_conditions
+from repro.analysis.purity import PurityAnalysis
+from repro.frontend import compile_source
+
+
+def test_intrinsic_purity_flags():
+    module = compile_source(
+        """
+        double f(double x) { return sqrt(x) + fmax(x, 1.0); }
+        int g(void) { return rand(); }
+        """
+    )
+    purity = PurityAnalysis(module)
+    assert purity.is_pure(module.get_function("sqrt"))
+    assert purity.is_pure(module.get_function("fmax"))
+    assert not purity.is_pure(module.get_function("rand"))
+
+
+def test_defined_function_purity_derived():
+    module = compile_source(
+        """
+        double square(double x) { return x * x; }
+        double norm(double x, double y) {
+            return sqrt(square(x) + square(y));
+        }
+        """
+    )
+    purity = PurityAnalysis(module)
+    assert purity.is_pure(module.get_function("square"))
+    assert purity.is_pure(module.get_function("norm"))
+
+
+def test_global_store_makes_function_impure():
+    module = compile_source(
+        """
+        double state;
+        double bump(double x) { state = state + x; return state; }
+        """
+    )
+    purity = PurityAnalysis(module)
+    assert not purity.is_pure(module.get_function("bump"))
+
+
+def test_impure_callee_propagates():
+    module = compile_source(
+        """
+        double noisy(double x) { return x + rand(); }
+        double wrapper(double x) { return noisy(x) * 2.0; }
+        """
+    )
+    purity = PurityAnalysis(module)
+    assert not purity.is_pure(module.get_function("noisy"))
+    assert not purity.is_pure(module.get_function("wrapper"))
+
+
+def test_local_alloca_access_keeps_function_pure():
+    module = compile_source(
+        """
+        double tabulate(double x) {
+            double buf[4];
+            buf[0] = x;
+            buf[1] = x * x;
+            return buf[0] + buf[1];
+        }
+        """
+    )
+    purity = PurityAnalysis(module)
+    assert purity.is_pure(module.get_function("tabulate"))
+
+
+def test_control_dependence_of_guarded_block():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] > 0.5) {
+                    s = s + a[i];
+                }
+            }
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    deps = control_dependences(fn)
+    then_block = next(b for b in fn.blocks if b.name.startswith("if.then"))
+    body = next(b for b in fn.blocks if b.name.startswith("for.body"))
+    assert body in deps[then_block]
+    conditions = controlling_conditions(then_block, deps)
+    assert len(conditions) >= 1
+    assert any(c.opcode == "fcmp" for c in conditions)
+
+
+def test_loop_body_control_dependent_on_header():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    deps = control_dependences(fn)
+    header = next(b for b in fn.blocks if b.name.startswith("for.cond"))
+    body = next(b for b in fn.blocks if b.name.startswith("for.body"))
+    assert header in deps[body]
+    # The header is control dependent on itself (loop-carried).
+    assert header in deps[header]

@@ -1,0 +1,213 @@
+"""Tests for scalar evolution / affine analysis."""
+
+from repro.analysis import Affine, LoopInfo, ScalarEvolution
+from repro.frontend import compile_source
+from repro.ir import GEPInst, LoadInst
+
+
+def _first_loop(fn):
+    info = LoopInfo(fn)
+    scev = ScalarEvolution(fn, info)
+    return info, scev
+
+
+def _loads_in(fn):
+    return [i for i in fn.instructions() if isinstance(i, LoadInst)
+            and isinstance(i.pointer, GEPInst)]
+
+
+def test_affine_constant_algebra():
+    two = Affine.constant(2)
+    three = Affine.constant(3)
+    assert (two + three).constant_term == 5
+    assert (two - three).constant_term == -1
+    assert two.scaled(4).constant_term == 8
+    assert two.multiply(three).constant_term == 6
+    assert two.is_constant()
+
+
+def test_affine_iv_detection_simple_index():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[2*i + 3];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    loop = info.top_level_loops()[0]
+    load = _loads_in(fn)[0]
+    affine = scev.affine_at(load.pointer.index, loop)
+    assert affine is not None
+    assert affine.constant_term == 3
+    ivs = affine.induction_variables()
+    assert len(ivs) == 1
+    iv = next(iter(ivs))
+    assert affine.coefficient_of(iv) == 2
+    assert affine.iv_coefficients_constant()
+
+
+def test_affine_parametric_coefficient_flagged():
+    module = compile_source(
+        """
+        double a[4096]; int rows; int cols;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < rows; i++)
+                for (int j = 0; j < cols; j++)
+                    s = s + a[i*cols + j];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    inner = [l for l in info.loops if l.depth == 2][0]
+    load = _loads_in(fn)[0]
+    affine = scev.affine_at(load.pointer.index, inner)
+    assert affine is not None
+    # Relative to the inner loop, i is a parameter, so ``i*cols`` is a
+    # parameter product: affine for us, a delinearization failure for
+    # the polyhedral baseline.
+    assert affine.has_parameter_products()
+
+
+def test_product_of_iv_and_enclosing_iv():
+    module = compile_source(
+        """
+        double a[4096]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < n; j++)
+                    s = 0.5 * s + a[i*j];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    inner = [l for l in info.loops if l.depth == 2][0]
+    outer = [l for l in info.loops if l.depth == 1][0]
+    load = _loads_in(fn)[0]
+    # From the inner loop, i is invariant: i*j is affine in j with a
+    # symbolic coefficient (and a parameter product for Polly).
+    affine = scev.affine_at(load.pointer.index, inner)
+    assert affine is not None
+    assert not affine.iv_coefficients_constant()
+    # From the outer loop, i and j are both IVs of the nest region —
+    # but j is not an enclosing IV of the outer loop, so nothing is
+    # affine there.
+    assert scev.affine_at(load.pointer.index, outer) is None
+
+
+def test_indirect_index_is_not_affine():
+    module = compile_source(
+        """
+        double a[64]; int idx[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = 0.5 * s + a[idx[i]];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    loop = info.top_level_loops()[0]
+    loads = _loads_in(fn)
+    outer_load = [l for l in loads if l.type.is_float()][0]
+    assert scev.affine_at(outer_load.pointer.index, loop) is None
+
+
+def test_loop_bounds_recognised():
+    module = compile_source(
+        """
+        double a[64];
+        double f(int n) {
+            double s = 0.0;
+            for (int i = 2; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    loop = info.top_level_loops()[0]
+    bounds = scev.loop_bounds(loop)
+    assert bounds is not None
+    assert bounds.predicate == "slt"
+    assert bounds.start.value == 2
+    assert bounds.step.value == 1
+    assert bounds.end is fn.args[0]
+
+
+def test_loop_bounds_reject_variant_end():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            int lim = n;
+            for (int i = 0; i < lim; i++) {
+                s = s + a[i];
+                lim = lim - 1;
+            }
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    loop = info.top_level_loops()[0]
+    assert scev.loop_bounds(loop) is None
+
+
+def test_induction_variable_with_step_two():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i = i + 2) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    loop = info.top_level_loops()[0]
+    iv = scev.induction_variable(loop)
+    assert iv is not None
+    assert iv.step.value == 2
+
+
+def test_enclosing_iv_is_symbol_in_inner_loop():
+    module = compile_source(
+        """
+        double a[4096]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < 64; j++)
+                    s = s + a[i*64 + j];
+            return s;
+        }
+        """
+    )
+    fn = module.get_function("f")
+    info, scev = _first_loop(fn)
+    inner = [l for l in info.loops if l.depth == 2][0]
+    load = _loads_in(fn)[0]
+    affine = scev.affine_at(load.pointer.index, inner)
+    assert affine is not None
+    # j is the inner IV; the enclosing i appears as a parameter with a
+    # constant multiplier (64), which keeps the form Polly-affine.
+    assert len(affine.induction_variables()) == 1
+    assert len(affine.parameters()) == 1
+    assert affine.iv_coefficients_constant()
+    assert not affine.has_parameter_products()

@@ -1,0 +1,147 @@
+"""Tests for the icc baseline model."""
+
+from repro.baselines import icc
+from repro.frontend import compile_source
+
+
+def _analyze(source):
+    return icc.analyze_module(compile_source(source))
+
+
+def test_plain_sum_detected():
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.reduction_count() == 1
+
+
+def test_known_math_call_allowed():
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + sqrt(fabs(a[i]));
+            return s;
+        }
+        """
+    )
+    assert report.reduction_count() == 1
+
+
+def test_fmax_blocks_loop():
+    """§6.1: icc does not know fmin/fmax are pure (cutcp)."""
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double m = a[0];
+            for (int i = 0; i < n; i++) m = fmax(m, a[i]);
+            return m;
+        }
+        """
+    )
+    assert report.reduction_count() == 0
+    blocked = [l for l in report.loops if not l.parallelizable]
+    assert any("fmax" in l.reason for l in blocked)
+
+
+def test_select_minmax_detected():
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double m = a[0];
+            for (int i = 0; i < n; i++) m = a[i] > m ? a[i] : m;
+            return m;
+        }
+        """
+    )
+    assert report.reduction_count() == 1
+
+
+def test_histogram_blocked():
+    """§6.1: icc does not attempt to detect histograms."""
+    report = _analyze(
+        """
+        int hist[64]; int keys[64]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                hist[keys[i]] = hist[keys[i]] + 1;
+        }
+        """
+    )
+    assert report.reduction_count() == 0
+    blocked = [l for l in report.loops if not l.parallelizable]
+    assert any("indirect" in l.reason or "flow" in l.reason
+               for l in blocked)
+
+
+def test_gather_load_blocked():
+    report = _analyze(
+        """
+        double v[64]; int idx[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + v[idx[i]];
+            return s;
+        }
+        """
+    )
+    assert report.reduction_count() == 0
+
+
+def test_only_innermost_loops_analysed():
+    """§6.1: the SP nest — reductions carried mid-nest are missed."""
+    report = _analyze(
+        """
+        double rms[5]; double rhs[640];
+        void f(void) {
+            for (int k = 0; k < 8; k++)
+                for (int j = 0; j < 16; j++)
+                    for (int m = 0; m < 5; m++) {
+                        double add = rhs[(k*16 + j)*5 + m];
+                        rms[m] = rms[m] + add * add;
+                    }
+        }
+        """
+    )
+    assert report.reduction_count() == 0
+
+
+def test_unresolved_recurrence_blocks_loop():
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = 0.5 * s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.reduction_count() == 0
+    blocked = [l for l in report.loops if not l.parallelizable]
+    assert any("loop-carried" in l.reason for l in blocked)
+
+
+def test_multiple_reductions_in_one_loop():
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            double q = 0.0;
+            for (int i = 0; i < n; i++) { s = s + a[i]; q = q + a[i]*a[i]; }
+            return s + q;
+        }
+        """
+    )
+    assert report.reduction_count() == 2

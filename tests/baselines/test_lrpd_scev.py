@@ -1,0 +1,97 @@
+"""Tests for the LRPD-test and SCEV-style baseline models (§6.1)."""
+
+from repro.baselines import lrpd, scev_reduction
+from repro.frontend import compile_source
+
+
+def test_scev_finds_plain_sum():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert scev_reduction.analyze_module(module).count() == 1
+
+
+def test_scev_rejects_conditional_update():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                if (a[i] > 0.0) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert scev_reduction.analyze_module(module).count() == 0
+
+
+def test_scev_rejects_calls():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + sqrt(a[i]);
+            return s;
+        }
+        """
+    )
+    assert scev_reduction.analyze_module(module).count() == 0
+
+
+def test_lrpd_accepts_arithmetic_reduction_with_one_guard():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                if (a[i] > 0.0) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert lrpd.analyze_module(module).count() == 1
+
+
+def test_lrpd_rejects_pure_calls():
+    """§6.1: EP's sqrt/log calls — [28] is restricted to arithmetic."""
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + sqrt(a[i]);
+            return s;
+        }
+        """
+    )
+    assert lrpd.analyze_module(module).count() == 0
+
+
+def test_lrpd_rejects_complex_control_flow():
+    """§6.1: tpacf's control flow is beyond the LRPD model."""
+    module = compile_source(
+        """
+        double a[64]; double b[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] > 0.0) {
+                    if (b[i] > 0.5) s = s + a[i];
+                    else s = s + b[i];
+                }
+            }
+            return s;
+        }
+        """
+    )
+    assert lrpd.analyze_module(module).count() == 0

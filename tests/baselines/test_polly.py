@@ -1,0 +1,158 @@
+"""Tests for the Polly baseline model."""
+
+from repro.baselines import polly
+from repro.frontend import compile_source
+
+
+def _analyze(source):
+    return polly.analyze_module(compile_source(source))
+
+
+def test_constant_bound_affine_nest_is_scop():
+    report = _analyze(
+        """
+        double a[64]; double b[64];
+        void f(void) {
+            for (int i = 1; i < 7; i++)
+                for (int j = 1; j < 7; j++)
+                    b[i*8 + j] = a[i*8 + j - 1] + a[i*8 + j + 1];
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+
+
+def test_argument_bound_is_scop_parameter():
+    report = _analyze(
+        """
+        double a[64];
+        double f(int n) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 1)
+    assert report.reductions[0].startswith("scalar:")
+
+
+def test_runtime_bound_breaks_scop():
+    """§6.1: not statically known iteration spaces."""
+    report = _analyze(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_call_breaks_scop():
+    report = _analyze(
+        """
+        double a[64];
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < 32; i++) s = s + sqrt(a[i]);
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_data_dependent_branch_breaks_scop():
+    report = _analyze(
+        """
+        double a[64];
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < 32; i++)
+                if (a[i] > 0.5) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_flat_array_with_parametric_pitch_breaks_scop():
+    """§6.1: the use of flat array structures."""
+    report = _analyze(
+        """
+        double a[4096];
+        double f(int rows, int cols) {
+            double s = 0.0;
+            for (int i = 0; i < 8; i++)
+                for (int j = 0; j < 8; j++)
+                    s = s + a[i*cols + j];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_indirect_access_breaks_scop():
+    """Histograms can never be SCoPs."""
+    report = _analyze(
+        """
+        int hist[64]; int keys[64];
+        void f(void) {
+            for (int i = 0; i < 32; i++)
+                hist[keys[i]] = hist[keys[i]] + 1;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_midnest_array_reduction_found():
+    """The SP rms pattern: a reduction carried by the outer loops."""
+    report = _analyze(
+        """
+        double rms[5]; double rhs[640];
+        void f(void) {
+            for (int k = 0; k < 8; k++)
+                for (int j = 0; j < 16; j++)
+                    for (int m = 0; m < 5; m++) {
+                        double add = rhs[(k*16 + j)*5 + m];
+                        rms[m] = rms[m] + add * add;
+                    }
+        }
+        """
+    )
+    assert report.counts() == (1, 1)
+    assert report.reductions[0].startswith("array:@rms")
+
+
+def test_stencil_scop_carries_no_reduction():
+    report = _analyze(
+        """
+        double a[64]; double b[64];
+        void f(void) {
+            for (int i = 1; i < 63; i++)
+                b[i] = 0.5 * (a[i-1] + a[i+1]);
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+
+
+def test_inplace_update_not_a_reduction_scop():
+    """y[i] += x[i] varies with the iterator: a map, not a reduction."""
+    report = _analyze(
+        """
+        double x[64]; double y[64];
+        void f(void) {
+            for (int i = 0; i < 64; i++)
+                y[i] = y[i] + 2.0 * x[i];
+        }
+        """
+    )
+    assert report.counts() == (1, 0)

@@ -1,0 +1,215 @@
+"""Tests for atomic constraints and their candidate proposals."""
+
+from repro.constraints import (
+    Blocked,
+    CFGEdge,
+    DefDominatesBlock,
+    Distinct,
+    Dominates,
+    EndsInCondBranch,
+    EndsInUncondBranch,
+    InBlock,
+    IsConstantLike,
+    Opcode,
+    PhiIncomingFromBlock,
+    PhiOfTwo,
+    PostDominates,
+    SESERegion,
+    SolverContext,
+)
+from repro.frontend import compile_source
+
+SOURCE = """
+double a[32]; int n;
+double f(void) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        if (a[i] > 0.5) {
+            s = s + a[i];
+        }
+    }
+    return s;
+}
+"""
+
+
+def _ctx():
+    module = compile_source(SOURCE)
+    fn = module.get_function("f")
+    ctx = SolverContext(fn, module)
+    blocks = {b.name: b for b in fn.blocks}
+    return ctx, blocks
+
+
+def test_cfg_edge_check_and_proposal():
+    ctx, blocks = _ctx()
+    edge = CFGEdge("a", "b")
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    body = next(b for n, b in blocks.items() if n.startswith("for.body"))
+    assert edge.check(ctx, {"a": header, "b": body})
+    assert not edge.check(ctx, {"a": body, "b": body})
+    proposals = list(edge.propose(ctx, {"a": header}, "b"))
+    assert body in proposals
+    back_proposals = list(edge.propose(ctx, {"b": header}, "a"))
+    assert all(header in p.successors() for p in back_proposals)
+
+
+def test_ends_in_uncond_branch():
+    ctx, blocks = _ctx()
+    constraint = EndsInUncondBranch("latch", "header")
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    latch = next(
+        b for b in ctx.blocks()
+        if header in b.successors()
+        and b.terminator is not None
+        and not b.terminator.is_conditional
+    )
+    assert constraint.check(ctx, {"latch": latch, "header": header})
+    candidates = list(
+        constraint.propose(ctx, {"header": header}, "latch")
+    )
+    assert latch in candidates
+
+
+def test_ends_in_cond_branch_proposes_parts():
+    ctx, blocks = _ctx()
+    constraint = EndsInCondBranch("header", "test", "body", "exit")
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    (cond,) = constraint.propose(ctx, {"header": header}, "test")
+    assert cond.opcode == "icmp"
+    headers = list(constraint.propose(ctx, {}, "header"))
+    assert header in headers
+
+
+def test_dominance_constraints():
+    ctx, blocks = _ctx()
+    entry = ctx.function.entry
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    exit_block = next(
+        b for n, b in blocks.items() if n.startswith("for.end")
+    )
+    assert Dominates("a", "b").check(ctx, {"a": entry, "b": header})
+    assert not Dominates("a", "b").check(ctx, {"a": header, "b": entry})
+    assert PostDominates("a", "b").check(
+        ctx, {"a": exit_block, "b": header}
+    )
+
+
+def test_sese_region_constraint():
+    ctx, blocks = _ctx()
+    body = next(b for n, b in blocks.items() if n.startswith("for.body"))
+    latch = next(b for n, b in blocks.items() if n.startswith("if.end"))
+    assert SESERegion("b", "e").check(ctx, {"b": body, "e": latch})
+    entry = ctx.function.entry
+    assert not SESERegion("b", "e").check(ctx, {"b": body, "e": entry})
+
+
+def test_blocked_constraint():
+    ctx, blocks = _ctx()
+    entry = ctx.function.entry
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    body = next(b for n, b in blocks.items() if n.startswith("for.body"))
+    # Every path from entry to body passes through the header.
+    assert Blocked("a", "via", "c").check(
+        ctx, {"a": entry, "via": header, "c": body}
+    )
+    # But not through the body itself when going entry -> header.
+    assert not Blocked("a", "via", "c").check(
+        ctx, {"a": entry, "via": body, "c": header}
+    )
+
+
+def test_opcode_constraint_with_operands():
+    ctx, blocks = _ctx()
+    adds = ctx.instructions_with_opcode("add")
+    assert adds
+    add = adds[0]
+    constraint = Opcode("x", "add", ("lhs", "rhs"), commutative=True)
+    assert constraint.check(
+        ctx, {"x": add, "lhs": add.lhs, "rhs": add.rhs}
+    )
+    # commutative: swapped operands also accepted
+    assert constraint.check(
+        ctx, {"x": add, "lhs": add.rhs, "rhs": add.lhs}
+    )
+    proposals = list(constraint.propose(ctx, {"x": add}, "lhs"))
+    assert add.lhs in proposals and add.rhs in proposals
+
+
+def test_opcode_partial_check_prunes_early():
+    ctx, blocks = _ctx()
+    load = ctx.instructions_with_opcode("load")[0]
+    constraint = Opcode("x", "add", ("lhs", "rhs"))
+    assert not constraint.partial_check(ctx, {"x": load})
+
+
+def test_phi_of_two():
+    ctx, blocks = _ctx()
+    phis = ctx.instructions_with_opcode("phi")
+    header_phi = next(p for p in phis if len(p.incoming) == 2)
+    values = header_phi.incoming_values()
+    constraint = PhiOfTwo("p", "a", "b")
+    assert constraint.check(
+        ctx, {"p": header_phi, "a": values[0], "b": values[1]}
+    )
+    assert constraint.check(
+        ctx, {"p": header_phi, "a": values[1], "b": values[0]}
+    )
+    proposed = list(constraint.propose(ctx, {"p": header_phi}, "a"))
+    assert set(map(id, proposed)) == set(map(id, values))
+
+
+def test_phi_incoming_from_block():
+    ctx, blocks = _ctx()
+    phis = ctx.instructions_with_opcode("phi")
+    header_phi = next(p for p in phis if len(p.incoming) == 2)
+    value, pred = header_phi.incoming[0]
+    constraint = PhiIncomingFromBlock("p", "v", "b")
+    assert constraint.check(
+        ctx, {"p": header_phi, "v": value, "b": pred}
+    )
+    wrong_pred = header_phi.incoming[1][1]
+    assert not constraint.check(
+        ctx, {"p": header_phi, "v": value, "b": wrong_pred}
+    )
+
+
+def test_in_block_and_proposals():
+    ctx, blocks = _ctx()
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    phi = header.phis()[0]
+    constraint = InBlock("x", "block")
+    assert constraint.check(ctx, {"x": phi, "block": header})
+    assert list(constraint.propose(ctx, {"x": phi}, "block")) == [header]
+    assert phi in list(constraint.propose(ctx, {"block": header}, "x"))
+
+
+def test_is_constant_like():
+    ctx, blocks = _ctx()
+    constraint = IsConstantLike("x")
+    argumentless = ctx.function.args  # f has no args
+    n_global = ctx.module.get_global("n")
+    assert constraint.check(ctx, {"x": n_global})
+    load = ctx.instructions_with_opcode("load")[0]
+    assert not constraint.check(ctx, {"x": load})
+
+
+def test_def_dominates_block():
+    ctx, blocks = _ctx()
+    header = next(b for n, b in blocks.items() if n.startswith("for.cond"))
+    entry = ctx.function.entry
+    hoisted_load = next(
+        i for i in entry.instructions if i.opcode == "load"
+    )
+    constraint = DefDominatesBlock("x", "block")
+    assert constraint.check(ctx, {"x": hoisted_load, "block": header})
+
+
+def test_distinct_constraint():
+    ctx, blocks = _ctx()
+    a = ctx.instructions_with_opcode("load")[0]
+    b = ctx.instructions_with_opcode("icmp")[0]
+    constraint = Distinct("x", "y")
+    assert constraint.check(ctx, {"x": a, "y": b})
+    assert not constraint.check(ctx, {"x": a, "y": a})
+    assert constraint.partial_check(ctx, {"x": a})

@@ -1,0 +1,57 @@
+"""Tests for IdiomSpec plumbing and label bookkeeping."""
+
+import pytest
+
+from repro.constraints import (
+    ConstraintAnd,
+    ConstraintOr,
+    IdiomSpec,
+    IsConstantLike,
+    Opcode,
+    constraint_labels,
+)
+
+
+def test_constraint_labels_collects_nested():
+    tree = ConstraintAnd(
+        Opcode("x", "add", ("a", "b")),
+        ConstraintOr(IsConstantLike("c"), Opcode("c", "load", ("p",))),
+    )
+    assert constraint_labels(tree) == {"x", "a", "b", "c", "p"}
+
+
+def test_spec_rejects_missing_labels_in_order():
+    constraint = Opcode("x", "add", ("a", "b"))
+    with pytest.raises(ValueError, match="missing from order"):
+        IdiomSpec("bad", ("x", "a"), constraint)
+
+
+def test_spec_reordered_keeps_constraint():
+    constraint = Opcode("x", "add", ("a", "b"))
+    spec = IdiomSpec("ok", ("x", "a", "b"), constraint)
+    flipped = spec.reordered(("b", "a", "x"))
+    assert flipped.constraint is constraint
+    assert flipped.label_order == ("b", "a", "x")
+    with pytest.raises(ValueError):
+        spec.reordered(("x", "a"))
+
+
+def test_and_flattens_nested_ands():
+    inner = ConstraintAnd(Opcode("x", "add"), Opcode("y", "load", ("p",)))
+    outer = ConstraintAnd(inner, IsConstantLike("z"))
+    assert len(outer.children) == 3
+
+
+def test_or_flattens_nested_ors():
+    inner = ConstraintOr(Opcode("x", "add"), Opcode("x", "sub"))
+    outer = ConstraintOr(inner, Opcode("x", "mul"))
+    assert len(outer.children) == 3
+
+
+def test_operator_sugar():
+    a = Opcode("x", "add")
+    b = Opcode("x", "sub")
+    both = a & b
+    either = a | b
+    assert isinstance(both, ConstraintAnd)
+    assert isinstance(either, ConstraintOr)

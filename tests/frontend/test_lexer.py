@@ -1,0 +1,77 @@
+"""Tests for the mini-C lexer."""
+
+import pytest
+
+from repro.frontend import LexerError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]
+
+
+def test_keywords_and_identifiers():
+    assert kinds("int x double for_2") == [
+        ("keyword", "int"),
+        ("ident", "x"),
+        ("keyword", "double"),
+        ("ident", "for_2"),
+    ]
+
+
+def test_numbers():
+    assert kinds("0 42 3.5 1e3 2.5e-2 .5") == [
+        ("int", "0"),
+        ("int", "42"),
+        ("float", "3.5"),
+        ("float", "1e3"),
+        ("float", "2.5e-2"),
+        ("float", ".5"),
+    ]
+
+
+def test_operators_maximal_munch():
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("i++ + 1") == [
+        ("ident", "i"), ("op", "++"), ("op", "+"), ("int", "1"),
+    ]
+    assert kinds("x<<=2")[1] == ("op", "<<=")
+    assert kinds("a&&b||!c")[1] == ("op", "&&")
+
+
+def test_line_comments_skipped():
+    assert kinds("a // comment here\n b") == [
+        ("ident", "a"), ("ident", "b"),
+    ]
+
+
+def test_block_comments_skipped():
+    assert kinds("a /* x \n y */ b") == [("ident", "a"), ("ident", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexerError, match="unterminated"):
+        tokenize("a /* oops")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexerError, match="unexpected character"):
+        tokenize("int $x;")
+
+
+def test_positions_tracked():
+    tokens = tokenize("int x;\ndouble y;")
+    double_token = [t for t in tokens if t.text == "double"][0]
+    assert double_token.line == 2
+    assert double_token.column == 1
+
+
+def test_eof_token_terminates_stream():
+    tokens = tokenize("x")
+    assert tokens[-1].kind == "eof"
+
+
+def test_helper_predicates():
+    tokens = tokenize("for (")
+    assert tokens[0].is_keyword("for")
+    assert tokens[1].is_op("(")
+    assert not tokens[1].is_op(")")

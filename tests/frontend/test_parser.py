@@ -1,0 +1,158 @@
+"""Tests for the mini-C parser."""
+
+import pytest
+
+from repro.frontend import ParseError, parse
+from repro.frontend.ast_nodes import (
+    Assign,
+    Binary,
+    Block,
+    Call,
+    CastExpr,
+    For,
+    If,
+    IncDec,
+    Index,
+    IntLit,
+    Return,
+    Ternary,
+    Unary,
+    Var,
+    While,
+)
+
+
+def _single_function(source):
+    program = parse(source)
+    assert len(program.functions) == 1
+    return program.functions[0]
+
+
+def test_function_signature():
+    fn = _single_function("double f(int n, double *a) { return 0.0; }")
+    assert fn.name == "f"
+    assert fn.return_type.base == "double"
+    assert fn.params[0].type.base == "int"
+    assert fn.params[1].type.pointer == 1
+
+
+def test_array_parameter_decays_to_pointer():
+    fn = _single_function("void f(double a[], int b[16]) { }")
+    assert fn.params[0].type.pointer == 1
+    assert fn.params[1].type.pointer == 1
+
+
+def test_global_array_dims():
+    program = parse("const int N = 8; double a[N][2*N];")
+    decl = program.globals[1]
+    assert decl.name == "a"
+    assert len(decl.type.dims) == 2
+
+
+def test_for_loop_structure():
+    fn = _single_function(
+        "void f(void) { for (int i = 0; i < 4; i++) { } }"
+    )
+    loop = fn.body.statements[0]
+    assert isinstance(loop, For)
+    assert loop.init is not None
+    assert isinstance(loop.cond, Binary)
+    assert isinstance(loop.step, IncDec)
+
+
+def test_precedence_mul_over_add():
+    fn = _single_function("int f(void) { return 1 + 2 * 3; }")
+    expr = fn.body.statements[0].value
+    assert isinstance(expr, Binary) and expr.op == "+"
+    assert isinstance(expr.rhs, Binary) and expr.rhs.op == "*"
+
+
+def test_precedence_comparison_over_logic():
+    fn = _single_function("int f(int a, int b) { return a < 1 && b > 2; }")
+    expr = fn.body.statements[0].value
+    assert expr.op == "&&"
+    assert expr.lhs.op == "<" and expr.rhs.op == ">"
+
+
+def test_ternary_parses_right_associative():
+    fn = _single_function(
+        "int f(int a) { return a ? 1 : a ? 2 : 3; }"
+    )
+    expr = fn.body.statements[0].value
+    assert isinstance(expr, Ternary)
+    assert isinstance(expr.if_false, Ternary)
+
+
+def test_multidim_index():
+    fn = _single_function("double a[4][4]; double f(void) { return a[1][2]; }".replace("double a[4][4]; ", ""))
+    # parse separately with the global present
+    program = parse("double a[4][4]; double f(void) { return a[1][2]; }")
+    expr = program.functions[0].body.statements[0].value
+    assert isinstance(expr, Index)
+    assert len(expr.indices) == 2
+
+
+def test_cast_expression():
+    fn = _single_function("int f(double x) { return (int) x; }")
+    expr = fn.body.statements[0].value
+    assert isinstance(expr, CastExpr)
+    assert expr.target.base == "int"
+
+
+def test_call_with_arguments():
+    fn = _single_function("double f(double x) { return fmax(x, 1.0); }")
+    expr = fn.body.statements[0].value
+    assert isinstance(expr, Call)
+    assert expr.name == "fmax"
+    assert len(expr.args) == 2
+
+
+def test_compound_assignment():
+    fn = _single_function("void f(void) { int x = 0; x += 3; }")
+    stmt = fn.body.statements[1]
+    assert isinstance(stmt, Assign)
+    assert stmt.op == "+="
+
+
+def test_assignment_requires_lvalue():
+    with pytest.raises(ParseError, match="lvalue"):
+        parse("void f(void) { 1 = 2; }")
+
+
+def test_if_else_chains():
+    fn = _single_function(
+        "int f(int x) { if (x > 0) return 1; else if (x < 0) return 2; "
+        "else return 3; }"
+    )
+    stmt = fn.body.statements[0]
+    assert isinstance(stmt, If)
+    assert isinstance(stmt.orelse, If)
+
+
+def test_while_break_continue():
+    fn = _single_function(
+        "void f(int n) { while (n > 0) { if (n == 3) break; n--; } }"
+    )
+    loop = fn.body.statements[0]
+    assert isinstance(loop, While)
+
+
+def test_unary_operators():
+    fn = _single_function("int f(int x) { return -x + !x + ~x; }")
+    expr = fn.body.statements[0].value
+    assert isinstance(expr.lhs.lhs, Unary)
+
+
+def test_missing_semicolon_reports_position():
+    with pytest.raises(ParseError):
+        parse("int f(void) { return 1 }")
+
+
+def test_empty_statement_allowed():
+    fn = _single_function("void f(void) { ; }")
+    assert isinstance(fn.body.statements[0], Block)
+
+
+def test_declaration_only_function():
+    program = parse("double sin2(double x);")
+    assert program.functions[0].body is None

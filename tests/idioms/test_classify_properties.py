@@ -1,0 +1,77 @@
+"""Metamorphic property tests for the associativity classifier.
+
+For a random chain built from a *single* associative operator, possibly
+behind random guards, ``classify_update`` must return exactly that
+operator; injecting one foreign operator into the chain must yield
+None.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import compile_source
+from repro.idioms import classify_update
+from repro.idioms.reports import ReductionOp
+
+_OPS = {"+": ReductionOp.ADD, "*": ReductionOp.MUL}
+
+
+def _classify(body: str):
+    source = f"""
+    double a[64]; double b[64]; int n;
+    double f(void) {{
+        double s = 1.0;
+        for (int i = 0; i < n; i++) {{ {body} }}
+        return s;
+    }}
+    """
+    module = compile_source(source)
+    fn = module.get_function("f")
+    from repro.analysis import LoopInfo
+
+    loop = LoopInfo(fn).top_level_loops()[0]
+    header = loop.header
+    acc = next(p for p in header.phis() if p.type.is_float())
+    latch_pred = next(
+        p for p in header.predecessors() if p in loop.blocks
+    )
+    return classify_update(acc, acc.incoming_for_block(latch_pred))
+
+
+@st.composite
+def op_chains(draw):
+    op = draw(st.sampled_from(list(_OPS)))
+    terms = draw(st.lists(
+        st.sampled_from(["a[i]", "b[i]", "0.5", "a[i] * 0.0 + 2.0"]),
+        min_size=1, max_size=3,
+    ))
+    expr = "s"
+    for term in terms:
+        expr = f"({expr} {op} ({term}))"
+    guarded = draw(st.booleans())
+    statement = f"s = {expr};"
+    if guarded:
+        statement = f"if (a[i] > 0.25) {{ {statement} }}"
+    return op, statement
+
+
+@given(op_chains())
+@settings(max_examples=40, deadline=None)
+def test_single_operator_chains_classify_correctly(chain):
+    op, statement = chain
+    assert _classify(statement) is _OPS[op]
+
+
+@given(op_chains())
+@settings(max_examples=25, deadline=None)
+def test_foreign_operator_poisons_chain(chain):
+    op, statement = chain
+    foreign = "*" if op == "+" else "+"
+    # Wrap the accumulator chain in one application of the other op.
+    poisoned = statement.replace("s = (", f"s = (1.0 {foreign} (", 1)
+    if poisoned == statement:  # guarded form nests differently
+        poisoned = statement.replace(
+            "{ s = (", f"{{ s = (1.0 {foreign} (", 1
+        )
+    poisoned = poisoned.replace(";", ");", 1)
+    assert _classify(poisoned) is None

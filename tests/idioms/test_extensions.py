@@ -1,0 +1,151 @@
+"""Tests for the extension idioms (§8 future work)."""
+
+from repro.frontend import compile_source
+from repro.idioms import find_reductions
+from repro.idioms.extensions import find_extended_reductions
+from repro.idioms.reports import ReductionOp
+
+
+def test_dot_product_idiom():
+    module = compile_source(
+        """
+        double xs[64]; double ys[64]; double ws[64]; int n;
+        double dot(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + xs[i] * ys[i];
+            return s;
+        }
+        double norm(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + ws[i] * ws[i];
+            return s;
+        }
+        double plain(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + xs[i];
+            return s;
+        }
+        """
+    )
+    report = find_extended_reductions(module)
+    names = {d.function.name for d in report.dot_products}
+    assert names == {"dot"}  # norm uses one array twice; plain no product
+
+
+def test_argminmax_idiom():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        int argmin_of(void) {
+            double best = 1000000.0;
+            int pos = 0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] < best) { best = a[i]; pos = i; }
+            }
+            return pos;
+        }
+        int argmax_of(void) {
+            double best = -1000000.0;
+            int pos = 0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] > best) { best = a[i]; pos = i; }
+            }
+            return pos;
+        }
+        """
+    )
+    report = find_extended_reductions(module)
+    kinds = {(m.function.name, m.kind) for m in report.argminmax}
+    assert ("argmin_of", "min") in kinds
+    assert ("argmax_of", "max") in kinds
+
+
+def test_argminmax_not_reported_as_scalar_reduction():
+    """The guard reads the accumulator, so the base spec must reject
+    it — the pair is only detectable as the dedicated idiom."""
+    module = compile_source(
+        """
+        double a[64]; int n;
+        int argmin_of(void) {
+            double best = 1000000.0;
+            int pos = 0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] < best) { best = a[i]; pos = i; }
+            }
+            return pos;
+        }
+        """
+    )
+    base = find_reductions(module)
+    assert base.counts() == (0, 0)
+    extended = find_extended_reductions(module)
+    assert len(extended.argminmax) == 1
+
+
+def test_nested_array_reduction_catches_sp_rms():
+    """The §6.1 miss, recovered by the extension idiom."""
+    module = compile_source(
+        """
+        double rms[5]; double rhs[640]; int n;
+        void norms(void) {
+            for (int i = 0; i < n; i++)
+                for (int m = 0; m < 5; m++) {
+                    double add = rhs[i*5 + m];
+                    rms[m] = rms[m] + add * add;
+                }
+        }
+        """
+    )
+    base = find_reductions(module)
+    assert base.counts() == (0, 0)  # paper-faithful: the tool misses it
+    extended = find_extended_reductions(module)
+    assert len(extended.nested_array) == 1
+    record = extended.nested_array[0]
+    assert record.base.short_name() == "@rms"
+    assert record.op is ReductionOp.ADD
+    # Reported at the outer (privatizable) loop.
+    assert record.header.name.startswith("for.cond")
+
+
+def test_nested_array_reduction_rejects_outer_iterator_address():
+    module = compile_source(
+        """
+        double acc[4096]; double rhs[4096]; int n;
+        void writes(void) {
+            for (int i = 0; i < n; i++)
+                for (int m = 0; m < 5; m++)
+                    acc[i*5 + m] = acc[i*5 + m] + rhs[i*5 + m];
+        }
+        """
+    )
+    extended = find_extended_reductions(module)
+    # The address varies with the outer iterator: a parallel write.
+    assert not extended.nested_array
+
+
+def test_regular_histogram_not_double_reported_by_extension():
+    module = compile_source(
+        """
+        int hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) hist[keys[i]]++;
+        }
+        """
+    )
+    base = find_reductions(module)
+    assert base.counts() == (0, 1)
+    extended = find_extended_reductions(module)
+    assert not extended.nested_array
+
+
+def test_extension_on_corpus_sp():
+    """On the SP corpus program, the extension finds both rms-style
+    norms (BT has one too) without disturbing the base counts."""
+    from repro.workloads import program
+
+    module = program("SP").fresh_module()
+    base = find_reductions(module)
+    assert base.counts() == (5, 0)
+    extended = find_extended_reductions(module)
+    assert len(extended.nested_array) == 1
+    assert extended.nested_array[0].base.short_name() == "@rms"

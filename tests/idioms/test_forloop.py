@@ -1,0 +1,112 @@
+"""Tests for the for-loop idiom specification (Fig. 5)."""
+
+from repro.frontend import compile_source
+from repro.idioms import find_for_loops
+
+
+def _loops(source, fn="f"):
+    module = compile_source(source)
+    return find_for_loops(module.get_function(fn), module)
+
+
+def test_simple_counted_loop_matched():
+    matches = _loops(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = 0.5 * s + a[i];
+            return s;
+        }
+        """
+    )
+    assert len(matches) == 1
+    match = matches[0]
+    assert match.iter_begin.value == 0
+    assert match.iter_step.value == 1
+    assert match.loop.header is match.header
+
+
+def test_loop_with_argument_bound_matched():
+    matches = _loops(
+        """
+        double a[16];
+        double f(int n) {
+            double s = 0.0;
+            for (int i = 2; i < n; i = i + 3) s = 0.5 * s + a[i];
+            return s;
+        }
+        """
+    )
+    assert len(matches) == 1
+    assert matches[0].iter_begin.value == 2
+    assert matches[0].iter_step.value == 3
+
+
+def test_nested_loops_both_matched():
+    matches = _loops(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                for (int j = 0; j < 8; j++)
+                    s = 0.5 * s + a[i*8 + j];
+            return s;
+        }
+        """
+    )
+    assert len(matches) == 2
+
+
+def test_while_loop_with_variant_bound_not_matched():
+    matches = _loops(
+        """
+        int f(int n) {
+            int i = 0;
+            int lim = n;
+            while (i < lim) {
+                lim = lim - 1;
+                i = i + 1;
+            }
+            return i;
+        }
+        """
+    )
+    assert matches == []
+
+
+def test_loop_with_early_exit_not_matched():
+    matches = _loops(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] < 0.0) break;
+                s = 0.5 * s + a[i];
+            }
+            return s;
+        }
+        """
+    )
+    assert matches == []
+
+
+def test_counted_while_loop_matches_for_idiom():
+    """A while loop written as a counted loop has the same SSA shape."""
+    matches = _loops(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            int i = 0;
+            while (i < n) {
+                s = 0.5 * s + a[i];
+                i = i + 1;
+            }
+            return s;
+        }
+        """
+    )
+    assert len(matches) == 1

@@ -1,0 +1,227 @@
+"""Tests for histogram detection (§3.1.2)."""
+
+from repro.frontend import compile_source
+from repro.idioms import ReductionOp, find_reductions
+
+
+def _detect(source):
+    return find_reductions(compile_source(source))
+
+
+def test_direct_histogram_detected():
+    report = _detect(
+        """
+        int hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                hist[keys[i]] = hist[keys[i]] + 1;
+        }
+        """
+    )
+    assert report.counts() == (0, 1)
+    histogram = report.histograms[0]
+    assert histogram.op is ReductionOp.ADD
+    assert not histogram.idx_affine
+    assert histogram.base.short_name() == "@hist"
+
+
+def test_increment_syntax_detected():
+    report = _detect(
+        """
+        int hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) hist[keys[i]]++;
+        }
+        """
+    )
+    assert report.counts() == (0, 1)
+
+
+def test_computed_bin_detected():
+    report = _detect(
+        """
+        double hist[64]; double img[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) {
+                int bin = (int) (img[i] * 63.0);
+                hist[bin] = hist[bin] + 1.0;
+            }
+        }
+        """
+    )
+    assert report.counts() == (0, 1)
+
+
+def test_guarded_histogram_detected():
+    """EP-style: the update executes under a data-dependent guard."""
+    report = _detect(
+        """
+        double hist[64]; double x[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) {
+                double v = x[i];
+                if (v > 0.25) {
+                    int bin = (int) (v * 63.0);
+                    hist[bin] = hist[bin] + v;
+                }
+            }
+        }
+        """
+    )
+    assert report.counts() == (0, 1)
+
+
+def test_binary_search_bin_detected():
+    """tpacf: the bin index comes from a while-loop binary search."""
+    report = _detect(
+        """
+        double hist[64]; double binb[65]; double data[256];
+        int n; int nbins;
+        void f(void) {
+            for (int i = 0; i < n; i++) {
+                double d = data[i];
+                int lo = 0;
+                int hi = nbins;
+                while (lo < hi) {
+                    int mid = (lo + hi) / 2;
+                    if (d < binb[mid]) hi = mid; else lo = mid + 1;
+                }
+                hist[lo] = hist[lo] + 1.0;
+            }
+        }
+        """
+    )
+    assert report.counts() == (0, 1)
+
+
+def test_alias_checks_generated():
+    report = _detect(
+        """
+        int hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) hist[keys[i]]++;
+        }
+        """
+    )
+    checks = report.histograms[0].runtime_checks
+    assert [c.describe() for c in checks] == [
+        "@hist does-not-alias @keys"
+    ]
+
+
+# -- negatives ------------------------------------------------------------------
+
+
+def test_iterator_indexed_update_is_not_a_histogram():
+    """a[i] += f(i) is a parallel write, not a histogram (cond. 3)."""
+    report = _detect(
+        """
+        double acc[256]; double x[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                acc[i] = acc[i] + x[i];
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_overwrite_scatter_is_not_a_histogram():
+    report = _detect(
+        """
+        double grid[64]; double val[256]; int cell[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                grid[cell[i]] = val[i];
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_bin_index_reading_histogram_rejected():
+    report = _detect(
+        """
+        int hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++) {
+                int b = hist[keys[i]] % 64;
+                hist[b] = hist[b] + 1;
+            }
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_store_inside_inner_loop_rejected():
+    """The SP rms pattern: the update sits in an inner loop (§6.1)."""
+    report = _detect(
+        """
+        double rms[5]; double rhs[640]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                for (int m = 0; m < 5; m++) {
+                    double add = rhs[i*5 + m];
+                    rms[m] = rms[m] + add * add;
+                }
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_extra_read_of_histogram_rejected():
+    report = _detect(
+        """
+        int hist[64]; int keys[256]; int n; int spy;
+        void f(void) {
+            for (int i = 0; i < n; i++) {
+                hist[keys[i]] = hist[keys[i]] + 1;
+                spy = hist[0];
+            }
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_update_mixing_operators_rejected():
+    report = _detect(
+        """
+        double hist[64]; int keys[256]; int n;
+        void f(void) {
+            for (int i = 0; i < n; i++)
+                hist[keys[i]] = hist[keys[i]] * 0.5 + 1.0;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_argmin_indexed_histogram_detected():
+    """kmeans: the bin index comes from an inner argmin loop."""
+    report = _detect(
+        """
+        double count[8]; double feat[512]; double cent[64];
+        int n; int k; int f;
+        void assign(void) {
+            for (int i = 0; i < n; i++) {
+                int best = 0;
+                double bestd = 1000000000.0;
+                for (int c = 0; c < k; c++) {
+                    double d = 0.0;
+                    for (int j = 0; j < f; j++) {
+                        double diff = feat[i*f + j] - cent[c*f + j];
+                        d = d + diff * diff;
+                    }
+                    if (d < bestd) { bestd = d; best = c; }
+                }
+                count[best] = count[best] + 1.0;
+            }
+        }
+        """
+    )
+    scalars, histograms = report.counts()
+    assert histograms == 1
+    assert not report.histograms[0].idx_affine

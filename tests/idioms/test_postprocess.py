@@ -1,0 +1,113 @@
+"""Tests for the associativity classification post-processing step."""
+
+from repro.frontend import compile_source
+from repro.idioms import ReductionOp, classify_update
+from repro.ir import PhiInst
+
+
+def _acc_and_update(source, fn_name="f"):
+    module = compile_source(source)
+    fn = module.get_function(fn_name)
+    from repro.analysis import LoopInfo
+
+    info = LoopInfo(fn)
+    loop = info.top_level_loops()[0]
+    header = loop.header
+    acc = next(p for p in header.phis() if not p.type.is_integer())
+    latch_pred = next(
+        p for p in header.predecessors() if p in loop.blocks
+    )
+    return acc, acc.incoming_for_block(latch_pred)
+
+
+def _classify(body, decl="double a[16]; int n;"):
+    source = f"""
+    {decl}
+    double f(void) {{
+        double s = 1.0;
+        for (int i = 0; i < n; i++) {{ {body} }}
+        return s;
+    }}
+    """
+    acc, update = _acc_and_update(source)
+    return classify_update(acc, update)
+
+
+def test_simple_add():
+    assert _classify("s = s + a[i];") is ReductionOp.ADD
+
+
+def test_add_chain_same_operator():
+    assert _classify("s = s + a[i] + 1.0;") is ReductionOp.ADD
+
+
+def test_subtract_is_additive():
+    assert _classify("s = s - a[i];") is ReductionOp.ADD
+
+
+def test_reverse_subtract_rejected():
+    assert _classify("s = a[i] - s;") is None
+
+
+def test_multiply():
+    assert _classify("s = s * a[i];") is ReductionOp.MUL
+
+
+def test_mixed_operators_rejected():
+    assert _classify("s = s * 0.5 + a[i];") is None
+
+
+def test_divide_rejected():
+    assert _classify("s = s / a[i];") is None
+
+
+def test_conditional_update_via_phi():
+    assert _classify("if (a[i] > 0.0) s = s + a[i];") is ReductionOp.ADD
+
+
+def test_conditional_with_two_updates_same_op():
+    assert (
+        _classify(
+            "if (a[i] > 0.0) s = s + a[i]; else s = s + 1.0;"
+        )
+        is ReductionOp.ADD
+    )
+
+
+def test_conditional_with_conflicting_ops_rejected():
+    assert (
+        _classify("if (a[i] > 0.0) s = s + a[i]; else s = s * 2.0;")
+        is None
+    )
+
+
+def test_select_max():
+    assert _classify("s = a[i] > s ? a[i] : s;") is ReductionOp.MAX
+
+
+def test_select_min():
+    assert _classify("s = a[i] < s ? a[i] : s;") is ReductionOp.MIN
+
+
+def test_select_min_swapped_arms():
+    assert _classify("s = s < a[i] ? s : a[i];") is ReductionOp.MIN
+
+
+def test_fmax_call():
+    assert _classify("s = fmax(s, a[i]);") is ReductionOp.MAX
+
+
+def test_fmin_call():
+    assert _classify("s = fmin(a[i], s);") is ReductionOp.MIN
+
+
+def test_fmax_chain_with_identity():
+    assert _classify("s = fmax(s, fabs(a[i]));") is ReductionOp.MAX
+
+
+def test_accumulator_used_twice_rejected():
+    assert _classify("s = s + s * a[i];") is None
+
+
+def test_overwrite_rejected():
+    assert _classify("s = a[i];") is None

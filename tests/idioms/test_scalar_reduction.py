@@ -1,0 +1,300 @@
+"""Tests for scalar reduction detection (§3.1.1): positives and the
+negative battery matching the paper's conditions."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.idioms import ReductionOp, find_reductions
+
+
+def _detect(source):
+    return find_reductions(compile_source(source))
+
+
+def test_plain_sum_detected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    assert report.scalars[0].op is ReductionOp.ADD
+    assert [b.short_name() for b in report.scalars[0].input_bases] == ["@a"]
+
+
+def test_product_detected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double p = 1.0;
+            for (int i = 0; i < n; i++) p = p * a[i];
+            return p;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    assert report.scalars[0].op is ReductionOp.MUL
+
+
+def test_guarded_sum_detected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                if (a[i] > 0.0) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+
+
+def test_max_via_select_detected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double m = a[0];
+            for (int i = 0; i < n; i++) m = a[i] > m ? a[i] : m;
+            return m;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    assert report.scalars[0].op is ReductionOp.MAX
+
+
+def test_min_via_fmin_detected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double m = a[0];
+            for (int i = 0; i < n; i++) m = fmin(m, a[i]);
+            return m;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    assert report.scalars[0].op is ReductionOp.MIN
+
+
+def test_multiple_accumulators_in_one_loop():
+    report = _detect(
+        """
+        double a[32]; int n;
+        double f(void) {
+            double s = 0.0;
+            double sq = 0.0;
+            for (int i = 0; i < n; i++) {
+                s = s + a[i];
+                sq = sq + a[i] * a[i];
+            }
+            return s + sq;
+        }
+        """
+    )
+    assert report.counts() == (2, 0)
+
+
+def test_integer_counter_detected():
+    report = _detect(
+        """
+        double a[32]; int n;
+        int f(void) {
+            int c = 0;
+            for (int i = 0; i < n; i++)
+                if (a[i] > 0.5) c = c + 1;
+            return c;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+
+
+def test_subtraction_merges_as_sum():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s - a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    assert report.scalars[0].op is ReductionOp.ADD
+
+
+def test_multi_array_reduction_with_pure_calls():
+    """§3.1.1: multiple arrays and complex pure computation allowed."""
+    report = _detect(
+        """
+        double a[32]; double b[32]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++)
+                s = s + sqrt(a[i] * a[i] + b[i] * b[i]);
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    names = {b.short_name() for b in report.scalars[0].input_bases}
+    assert names == {"@a", "@b"}
+
+
+# -- negatives -----------------------------------------------------------------
+
+
+def test_control_dependence_on_accumulator_rejected():
+    """The §2 counterexample."""
+    report = _detect(
+        """
+        double a[32]; int n;
+        double f(void) {
+            double s = 0.0;
+            double t = 0.0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] <= t) { t = t + a[i]; s = s + 1.0; }
+            }
+            return s + t;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_mixed_operators_rejected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = 0.5 * s + a[i];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_iterator_feeding_value_rejected():
+    """Condition 4: the update is a term of x, array values and loop
+    constants — not of the iterator."""
+    report = _detect(
+        """
+        int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + i;
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_indirect_read_rejected():
+    """Condition 3: reads must be affine in the iterator."""
+    report = _detect(
+        """
+        double a[64]; int idx[64]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[idx[i]];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_impure_call_rejected():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i] * rand();
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_accumulator_escaping_into_memory_rejected():
+    report = _detect(
+        """
+        double a[16]; double trace[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                s = s + a[i];
+                trace[i] = s;
+            }
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_overwrite_is_not_a_reduction():
+    report = _detect(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double last = 0.0;
+            for (int i = 0; i < n; i++) last = a[i];
+            return last;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_read_of_written_array_rejected():
+    report = _detect(
+        """
+        double a[32]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) {
+                a[i+1] = a[i] * 0.5;
+                s = s + a[i];
+            }
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (0, 0)
+
+
+def test_inner_position_reduction_detected_once():
+    """A nest-carried sum is reported at the innermost loop binding."""
+    report = _detect(
+        """
+        double a[4096]; int rows; int cols;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < rows; i++)
+                for (int j = 0; j < cols; j++)
+                    s = s + a[i*cols + j];
+            return s;
+        }
+        """
+    )
+    assert report.counts() == (1, 0)
+    reduction = report.scalars[0]
+    assert reduction.loop.depth == 2

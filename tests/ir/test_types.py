@@ -1,0 +1,75 @@
+"""Tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    FLOAT,
+    INT1,
+    INT32,
+    INT64,
+    LABEL,
+    VOID,
+    FloatType,
+    FunctionType,
+    IntType,
+    PointerType,
+)
+
+
+def test_int_type_structural_equality():
+    assert IntType(32) == IntType(32)
+    assert IntType(32) != IntType(64)
+    assert hash(IntType(8)) == hash(IntType(8))
+
+
+def test_int_type_rejects_nonpositive_width():
+    with pytest.raises(ValueError):
+        IntType(0)
+    with pytest.raises(ValueError):
+        IntType(-4)
+
+
+def test_float_type_widths():
+    assert FloatType(32) == FLOAT
+    assert FloatType(64) == DOUBLE
+    with pytest.raises(ValueError):
+        FloatType(16)
+
+
+def test_pointer_type_structure():
+    assert PointerType(DOUBLE) == PointerType(DOUBLE)
+    assert PointerType(DOUBLE) != PointerType(INT64)
+    assert PointerType(PointerType(INT64)).pointee == PointerType(INT64)
+
+
+def test_type_predicates():
+    assert INT64.is_integer() and not INT64.is_float()
+    assert DOUBLE.is_float() and not DOUBLE.is_pointer()
+    assert PointerType(INT64).is_pointer()
+    assert VOID.is_void()
+    assert not LABEL.is_void()
+
+
+def test_type_strings():
+    assert str(INT1) == "i1"
+    assert str(INT32) == "i32"
+    assert str(DOUBLE) == "double"
+    assert str(FLOAT) == "float"
+    assert str(PointerType(DOUBLE)) == "double*"
+    assert str(VOID) == "void"
+    assert str(LABEL) == "label"
+
+
+def test_function_type():
+    ftype = FunctionType(DOUBLE, (INT64, PointerType(DOUBLE)))
+    assert ftype == FunctionType(DOUBLE, (INT64, PointerType(DOUBLE)))
+    assert ftype != FunctionType(VOID, (INT64, PointerType(DOUBLE)))
+    assert str(ftype) == "double (i64, double*)"
+
+
+def test_types_usable_as_dict_keys():
+    table = {INT64: "a", DOUBLE: "b", PointerType(DOUBLE): "c"}
+    assert table[IntType(64)] == "a"
+    assert table[FloatType(64)] == "b"
+    assert table[PointerType(FloatType(64))] == "c"

@@ -1,0 +1,95 @@
+"""Tests for values, constants and def-use tracking."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    INT1,
+    INT64,
+    BinaryInst,
+    ConstantFloat,
+    ConstantInt,
+    IntType,
+    UndefValue,
+    const_bool,
+    const_float,
+    const_int,
+)
+
+
+def test_constant_int_wraps_to_width():
+    assert ConstantInt(IntType(8), 255).value == -1
+    assert ConstantInt(IntType(8), 127).value == 127
+    assert ConstantInt(IntType(8), 128).value == -128
+    assert ConstantInt(IntType(64), 2**63).value == -(2**63)
+
+
+def test_const_helpers():
+    assert const_int(42).type == INT64
+    assert const_float(1.5).type == DOUBLE
+    assert const_bool(True).type == INT1
+    assert const_bool(True).value == 1
+    assert const_bool(False).value == 0
+
+
+def test_undef_is_constant():
+    undef = UndefValue(DOUBLE)
+    assert undef.is_constant()
+    assert undef.short_name() == "undef"
+
+
+def test_use_lists_track_operands():
+    a = const_int(1)
+    b = const_int(2)
+    add = BinaryInst("add", a, b)
+    assert [u.user for u in a.uses] == [add]
+    assert [u.index for u in a.uses] == [0]
+    assert [u.index for u in b.uses] == [1]
+
+
+def test_set_operand_updates_uses():
+    a = const_int(1)
+    b = const_int(2)
+    c = const_int(3)
+    add = BinaryInst("add", a, b)
+    add.set_operand(0, c)
+    assert not a.uses
+    assert [u.user for u in c.uses] == [add]
+    assert add.lhs is c
+
+
+def test_replace_all_uses_with():
+    a = const_int(1)
+    b = const_int(2)
+    c = const_int(9)
+    add1 = BinaryInst("add", a, b)
+    add2 = BinaryInst("add", a, a)
+    a.replace_all_uses_with(c)
+    assert add1.lhs is c
+    assert add2.lhs is c and add2.rhs is c
+    assert not a.uses
+    assert len(c.uses) == 3
+
+
+def test_replace_all_uses_with_self_is_noop():
+    a = const_int(1)
+    add = BinaryInst("add", a, a)
+    a.replace_all_uses_with(a)
+    assert add.lhs is a
+
+
+def test_drop_all_references():
+    a = const_int(1)
+    b = const_int(2)
+    add = BinaryInst("add", a, b)
+    add.drop_all_references()
+    assert not a.uses and not b.uses
+    assert add.operands == ()
+
+
+def test_remove_missing_use_raises():
+    a = const_int(1)
+    b = const_int(2)
+    add = BinaryInst("add", a, b)
+    with pytest.raises(ValueError):
+        a.remove_use(add, 5)

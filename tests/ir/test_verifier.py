@@ -1,0 +1,119 @@
+"""Tests for the structural verifier."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    INT64,
+    BinaryInst,
+    FunctionType,
+    IRBuilder,
+    Module,
+    VerificationError,
+    const_float,
+    const_int,
+    verify_function,
+)
+
+
+def _skeleton():
+    module = Module("m")
+    fn = module.add_function("f", FunctionType(INT64, ()), [])
+    return module, fn
+
+
+def test_missing_terminator_detected():
+    module, fn = _skeleton()
+    fn.add_block("entry")
+    with pytest.raises(VerificationError, match="no terminator"):
+        verify_function(fn)
+
+
+def test_valid_function_passes():
+    module, fn = _skeleton()
+    entry = fn.add_block("entry")
+    IRBuilder(entry).ret(const_int(0))
+    verify_function(fn)
+
+
+def test_phi_with_wrong_predecessors_detected():
+    module, fn = _skeleton()
+    entry = fn.add_block("entry")
+    other = fn.add_block("other")
+    b = IRBuilder(entry)
+    b.br(other)
+    b.position_at_end(other)
+    phi = b.phi(INT64, "p")
+    phi.add_incoming(const_int(1), other)  # wrong: pred is entry
+    b.ret(phi)
+    with pytest.raises(VerificationError, match="incoming blocks"):
+        verify_function(fn)
+
+
+def test_phi_after_non_phi_detected():
+    from repro.ir import PhiInst
+
+    module, fn = _skeleton()
+    entry = fn.add_block("entry")
+    other = fn.add_block("other")
+    IRBuilder(entry).br(other)
+    b = IRBuilder(other)
+    add = b.add(const_int(1), const_int(2))
+    phi = PhiInst(INT64, "p")
+    phi.add_incoming(const_int(1), entry)
+    other.insert(1, phi)  # after the add: malformed on purpose
+    IRBuilder(other).ret(add)
+    with pytest.raises(VerificationError, match="phi after non-phi"):
+        verify_function(fn)
+
+
+def test_use_before_definition_detected():
+    module, fn = _skeleton()
+    entry = fn.add_block("entry")
+    b = IRBuilder(entry)
+    first = BinaryInst("add", const_int(1), const_int(2), "first")
+    second = BinaryInst("add", const_int(1), const_int(2), "second")
+    entry.append(second)
+    entry.append(first)
+    second.set_operand(0, first)  # second uses first but precedes it
+    b.position_at_end(entry)
+    b.ret(second)
+    with pytest.raises(VerificationError, match="used before definition"):
+        verify_function(fn)
+
+
+def test_foreign_operand_detected():
+    module, fn = _skeleton()
+    other_fn = module.add_function("g", FunctionType(INT64, ()), [])
+    other_entry = other_fn.add_block("entry")
+    foreign = IRBuilder(other_entry).add(const_int(1), const_int(1))
+    IRBuilder(other_entry).ret(foreign)
+
+    entry = fn.add_block("entry")
+    b = IRBuilder(entry)
+    local = b.add(const_int(0), const_int(0))
+    local.set_operand(0, foreign)
+    b.ret(local)
+    with pytest.raises(VerificationError, match="foreign"):
+        verify_function(fn)
+
+
+def test_definition_must_dominate_use():
+    module, fn = _skeleton()
+    entry = fn.add_block("entry")
+    left = fn.add_block("left")
+    right = fn.add_block("right")
+    join = fn.add_block("join")
+    b = IRBuilder(entry)
+    cond = b.icmp("eq", const_int(0), const_int(0), "c")
+    b.cond_br(cond, left, right)
+    b.position_at_end(left)
+    defined_in_left = b.add(const_int(1), const_int(2), "d")
+    b.br(join)
+    b.position_at_end(right)
+    b.br(join)
+    b.position_at_end(join)
+    use = b.add(defined_in_left, const_int(1), "u")
+    b.ret(use)
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_function(fn)

@@ -1,0 +1,84 @@
+"""Tests for runtime alias checks (§3.1.2).
+
+Detection cannot prove that a histogram passed by pointer does not
+alias its input arrays; it records no-alias obligations instead, and
+the executor must evaluate them at loop entry — falling back to
+sequential execution when they fail.
+"""
+
+from repro.frontend import compile_source
+from repro.idioms import find_reductions
+from repro.runtime import ParallelExecutor
+from repro.runtime.parallel import run_sequential
+from repro.transform import outline_loop, plan_all
+
+SOURCE = """
+double hist[64]; double data[256]; int n;
+double checksum;
+
+void binup(double *h, double *src, int m) {
+    for (int i = 0; i < m; i++) {
+        int b = (int) (fmod(src[i], 1.0) * 63.0);
+        h[b] = h[b] + 1.0;
+    }
+}
+
+int main(void) {
+    n = 200;
+    for (int i = 0; i < n; i++) data[i] = fmod(i * 0.37, 1.0);
+    binup(hist, data, n);      // disjoint: parallelizable
+    binup(hist, hist, 40);     // aliased: must run sequentially
+    print_double(hist[0] + hist[20]);
+    return 0;
+}
+"""
+
+
+def _prepare():
+    module = compile_source(SOURCE)
+    report = find_reductions(module)
+    tasks = []
+    for function_reductions in report.functions:
+        plans, _ = plan_all(module, function_reductions)
+        tasks.extend(outline_loop(module, plan) for plan in plans)
+    assert len(tasks) == 1
+    return module, tasks, report
+
+
+def test_histogram_on_pointer_params_detected_with_checks():
+    module, tasks, report = _prepare()
+    histogram = report.histograms[0]
+    descriptions = [c.describe() for c in histogram.runtime_checks]
+    assert descriptions == ["h does-not-alias src"]
+
+
+def test_aliased_call_falls_back_to_sequential():
+    module, tasks, _ = _prepare()
+    _, seq_memory, seq_interp = run_sequential(module)
+    executor = ParallelExecutor(module, tasks, threads=16)
+    result = executor.run()
+    # Two dynamic loop executions: one parallel, one demoted.
+    assert len(result.regions) == 2
+    assert executor.alias_fallbacks == 1
+    parallel_region = result.regions[0]
+    sequential_region = result.regions[1]
+    assert len(parallel_region.shard_costs) == 16
+    assert len(sequential_region.shard_costs) == 1
+    # Correctness: identical outputs either way.
+    assert result.output == seq_interp.output
+    assert result.memory.read_global("hist") == (
+        seq_memory.read_global("hist")
+    )
+
+
+def test_disjoint_arrays_never_fall_back():
+    source = SOURCE.replace("binup(hist, hist, 40);", "")
+    module = compile_source(source)
+    report = find_reductions(module)
+    tasks = []
+    for function_reductions in report.functions:
+        plans, _ = plan_all(module, function_reductions)
+        tasks.extend(outline_loop(module, plan) for plan in plans)
+    executor = ParallelExecutor(module, tasks, threads=16)
+    executor.run()
+    assert executor.alias_fallbacks == 0

@@ -1,0 +1,55 @@
+"""Tests for the runtime memory model."""
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.ir import DOUBLE, INT64
+from repro.runtime import Memory
+from repro.runtime.memory import Buffer, MemoryError_, Pointer
+
+
+def test_buffer_zero_initialised_by_type():
+    ints = Buffer(INT64, 4, "ints")
+    floats = Buffer(DOUBLE, 4, "floats")
+    assert ints.data == [0, 0, 0, 0]
+    assert floats.data == [0.0, 0.0, 0.0, 0.0]
+    assert isinstance(floats.data[0], float)
+
+
+def test_pointer_displacement_and_access():
+    buffer = Buffer(DOUBLE, 4, "b")
+    pointer = Pointer(buffer, 0)
+    pointer.displaced(2).store(7.5)
+    assert buffer.data[2] == 7.5
+    assert pointer.displaced(2).load() == 7.5
+
+
+def test_out_of_bounds_rejected():
+    buffer = Buffer(DOUBLE, 4, "b")
+    with pytest.raises(MemoryError_, match="out of bounds"):
+        Pointer(buffer, 4).load()
+    with pytest.raises(MemoryError_, match="out of bounds"):
+        Pointer(buffer, -1).store(1.0)
+
+
+def test_memory_builds_globals_with_initializers():
+    module = compile_source(
+        """
+        double scale = 2.5;
+        double table[8];
+        int counter;
+        """
+        + "int f(void) { return 0; }"
+    )
+    memory = Memory(module)
+    assert memory.read_global("scale") == 2.5
+    assert memory.read_global("table") == [0.0] * 8
+    assert memory.read_global("counter") == 0
+
+
+def test_snapshot_is_a_deep_copy():
+    module = compile_source("double g; int f(void) { return 0; }")
+    memory = Memory(module)
+    snap = memory.snapshot()
+    memory.buffers["g"].data[0] = 9.0
+    assert snap["g"] == [0.0]

@@ -1,0 +1,69 @@
+"""Tests for the ``python -m repro`` command line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+SOURCE = """
+double a[32]; int hist[8]; int keys[32]; int n;
+
+double total(void) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s = s + a[i];
+    return s;
+}
+
+void count(void) {
+    for (int i = 0; i < n; i++) hist[keys[i]]++;
+}
+
+int main(void) {
+    n = 32;
+    for (int i = 0; i < n; i++) { a[i] = fmod(i * 0.7, 1.0); keys[i] = i % 8; }
+    count();
+    print_double(total());
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def test_detect_command(source_file, capsys):
+    assert main(["detect", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "1 scalar reduction(s), 1 histogram reduction(s)" in out
+    assert "op=add" in out
+
+
+def test_detect_with_baselines(source_file, capsys):
+    assert main(["detect", source_file, "--baselines"]) == 0
+    out = capsys.readouterr().out
+    assert "icc model" in out
+    assert "Polly model" in out
+
+
+def test_emit_command(source_file, capsys):
+    assert main(["emit", source_file]) == 0
+    out = capsys.readouterr().out
+    assert "define double @total()" in out
+    assert "phi" in out
+
+
+def test_parallelize_command(source_file, capsys):
+    assert main(["parallelize", source_file, "--threads", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "outlined:" in out
+    assert "outputs match" in out
+
+
+def test_parallelize_reports_nothing_to_do(tmp_path, capsys):
+    path = tmp_path / "empty.c"
+    path.write_text("int main(void) { print_int(1); return 0; }")
+    assert main(["parallelize", str(path)]) == 1
+    assert "nothing to parallelize" in capsys.readouterr().out

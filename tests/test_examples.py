@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs cleanly."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+@pytest.mark.parametrize(
+    "script",
+    ["quickstart.py", "ep_histogram.py", "custom_idiom.py"],
+)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_quickstart_reports_speedup():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "speedup" in result.stdout
+    assert "identical to sequential" in result.stdout
+
+
+def test_custom_idiom_finds_only_dot_products():
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, "custom_idiom.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "plain_dot: dot product" in result.stdout
+    assert "weighted_norm: no dot product" in result.stdout
+    assert "plain_sum: no dot product" in result.stdout

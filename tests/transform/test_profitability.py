@@ -1,0 +1,85 @@
+"""Tests for the §3 profitability heuristic."""
+
+from repro.frontend import compile_source
+from repro.idioms import find_reductions
+from repro.runtime import MachineModel
+from repro.transform.profitability import assess, estimate_speedup
+
+
+def test_estimate_speedup_amdahl_limit():
+    machine = MachineModel(spawn_cost=0, merge_cost_per_element=0,
+                           alloc_cost_per_element=0)
+    # 50% coverage on infinite cores tends to 2x.
+    estimate = estimate_speedup(0.5, 1000.0, 0, 1_000_000, machine)
+    assert 1.9 < estimate <= 2.0
+    # Full coverage scales linearly.
+    estimate = estimate_speedup(1.0, 64_000.0, 0, 64, machine)
+    assert abs(estimate - 64.0) < 1e-6
+
+
+def test_estimate_speedup_overhead_dominates_small_regions():
+    machine = MachineModel()
+    estimate = estimate_speedup(0.5, 100.0, 1000, 64, machine)
+    assert estimate < 1.0  # spawning costs more than the loop
+
+
+def test_assess_distinguishes_hot_and_cold_loops():
+    source = """
+    double big[4096]; double small_a[8]; int nbig; int nsmall;
+    double hot;
+    double cold;
+
+    double sum_big(void) {
+        double s = 0.0;
+        for (int i = 0; i < nbig; i++) s = s + big[i];
+        return s;
+    }
+    double sum_small(void) {
+        double s = 0.0;
+        for (int i = 0; i < nsmall; i++) s = s + small_a[i];
+        return s;
+    }
+    int main(void) {
+        nbig = 4096; nsmall = 8;
+        for (int i = 0; i < nbig; i++) big[i] = fmod(i * 0.37, 1.0);
+        hot = sum_big();
+        cold = sum_small();
+        print_double(hot + cold);
+        return 0;
+    }
+    """
+    module = compile_source(source)
+    report = find_reductions(module)
+    result = assess(module, report.functions, threads=64)
+    by_name = {d.name: d for d in result.decisions}
+    hot = next(d for n, d in by_name.items() if n.startswith("sum_big"))
+    cold = next(d for n, d in by_name.items() if n.startswith("sum_small"))
+    assert hot.apply
+    assert not cold.apply
+    assert hot.coverage > cold.coverage
+    assert hot.estimated_speedup > cold.estimated_speedup
+
+
+def test_assess_reports_transform_failures():
+    source = """
+    double q[16]; double log_[64]; double x[64]; int n;
+    void f(void) {
+        for (int i = 0; i < n; i++) {
+            int b = (int) (x[i] * 15.0);
+            q[b] = q[b] + 1.0;
+            log_[i] = x[i];
+        }
+    }
+    int main(void) {
+        n = 64;
+        for (int i = 0; i < n; i++) x[i] = fmod(i * 0.21, 1.0);
+        f();
+        print_double(q[0]);
+        return 0;
+    }
+    """
+    module = compile_source(source)
+    report = find_reductions(module)
+    result = assess(module, report.functions)
+    assert not result.decisions
+    assert result.failures

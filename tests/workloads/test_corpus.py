@@ -1,0 +1,135 @@
+"""Corpus validation: every one of the 40 programs must compile, run,
+and produce exactly the detection counts the paper reports."""
+
+import pytest
+
+from repro.baselines import icc, polly
+from repro.idioms import find_reductions
+from repro.runtime import Interpreter, Memory
+from repro.workloads import SUITE_NAMES, all_programs, program, suite
+
+ALL = all_programs()
+IDS = [f"{p.suite}-{p.name}" for p in ALL]
+
+
+@pytest.fixture(scope="module")
+def detection_cache():
+    cache = {}
+    for prog in ALL:
+        module = prog.compile()
+        cache[id(prog)] = (module, find_reductions(module))
+    return cache
+
+
+def test_corpus_has_40_programs():
+    assert len(ALL) == 40
+    assert len(suite("NAS")) == 10
+    assert len(suite("Parboil")) == 11
+    assert len(suite("Rodinia")) == 19
+
+
+@pytest.mark.parametrize("prog", ALL, ids=IDS)
+def test_program_compiles_and_verifies(prog):
+    module = prog.compile()
+    assert "main" in module.functions
+
+
+@pytest.mark.parametrize("prog", ALL, ids=IDS)
+def test_our_detection_counts(prog, detection_cache):
+    module, report = detection_cache[id(prog)]
+    scalars, histograms = report.counts()
+    assert scalars == prog.expectation.ours_scalars
+    assert histograms == prog.expectation.ours_histograms
+
+
+@pytest.mark.parametrize("prog", ALL, ids=IDS)
+def test_icc_model_counts(prog, detection_cache):
+    module, _ = detection_cache[id(prog)]
+    assert icc.detected_reduction_count(module) == prog.expectation.icc
+
+
+@pytest.mark.parametrize("prog", ALL, ids=IDS)
+def test_polly_model_counts(prog, detection_cache):
+    module, _ = detection_cache[id(prog)]
+    report = polly.analyze_module(module)
+    scops, reduction_scops = report.counts()
+    assert scops == prog.expectation.scops
+    assert reduction_scops == prog.expectation.reduction_scops
+    assert len(report.reductions) == prog.expectation.polly_reductions
+
+
+@pytest.mark.parametrize(
+    "prog",
+    [p for p in ALL if p.name not in
+     ("EP", "IS", "histo", "tpacf", "kmeans")],
+    ids=[f"{p.suite}-{p.name}" for p in ALL if p.name not in
+         ("EP", "IS", "histo", "tpacf", "kmeans")],
+)
+def test_program_main_executes(prog):
+    """Every non-performance program runs to completion quickly."""
+    module = prog.compile()
+    interp = Interpreter(module, Memory(module), max_instructions=3_000_000)
+    result = interp.call(module.get_function("main"), [])
+    assert result == 0
+    assert interp.output  # every main prints a checksum
+
+
+def test_suite_totals_match_paper():
+    per_suite = {name: [0, 0, 0, 0] for name in SUITE_NAMES}
+    for prog in ALL:
+        e = prog.expectation
+        totals = per_suite[prog.suite]
+        totals[0] += e.ours_scalars
+        totals[1] += e.ours_histograms
+        totals[2] += e.icc
+        totals[3] += e.polly_reductions
+    assert sum(t[0] for t in per_suite.values()) == 84
+    assert sum(t[1] for t in per_suite.values()) == 6
+    assert per_suite["NAS"][2] == 25
+    assert per_suite["Parboil"][2] == 3
+    assert per_suite["Rodinia"][2] == 23
+    assert sum(t[3] for t in per_suite.values()) == 4
+
+
+def test_named_paper_facts():
+    assert program("UA").expectation.ours_total == 11
+    assert program("cutcp").expectation.ours_total == 7
+    assert program("particlefilter").expectation.ours_total == 9
+    assert program("IS").expectation.ours_histograms == 1
+    assert program("IS").expectation.icc == 0
+    assert program("SP").expectation.icc == 0
+    for name in ("BT", "SP", "sgemm", "leukocyte"):
+        assert program(name).expectation.polly_reductions == 1
+    rodinia_with = [
+        p for p in suite("Rodinia") if p.expectation.ours_total > 0
+    ]
+    assert len(rodinia_with) == 15
+
+
+def test_scop_statistics_match_paper():
+    total = sum(p.expectation.scops for p in ALL)
+    zero = sum(1 for p in ALL if p.expectation.scops == 0)
+    assert total == 62
+    assert zero == 23
+    stencils = sum(
+        program(n).expectation.scops for n in ("LU", "BT", "SP", "MG")
+    )
+    assert stencils == 37
+
+
+def test_histograms_per_suite():
+    for suite_name, expected in (("NAS", 3), ("Parboil", 2),
+                                 ("Rodinia", 1)):
+        actual = sum(
+            p.expectation.ours_histograms for p in suite(suite_name)
+        )
+        assert actual == expected
+
+
+def test_program_lookup_by_suite():
+    nas_bfs = program("bfs", "Parboil")
+    rodinia_bfs = program("bfs", "Rodinia")
+    assert nas_bfs.suite == "Parboil"
+    assert rodinia_bfs.suite == "Rodinia"
+    with pytest.raises(KeyError):
+        program("nonexistent")
