@@ -4,8 +4,25 @@ The offline environment has setuptools but not the ``wheel`` package, so
 PEP 660 editable installs (which build a wheel) fail.  This shim lets
 ``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
 ``pip install -e .`` on modern environments) work everywhere.
+
+The shipped ``.icsl`` idiom specification files under
+``repro/constraints/specs/`` are package data: the spec-file path is
+the first-class detection path, so installs must carry them (see also
+``MANIFEST.in`` for sdists).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-general-reductions",
+    version="0.2.0",
+    description=(
+        "Constraint-based discovery and exploitation of general "
+        "reductions (CGO 2017 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.constraints": ["specs/*.icsl"]},
+    include_package_data=True,
+    python_requires=">=3.10",
+)

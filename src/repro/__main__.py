@@ -5,7 +5,10 @@ Commands
 
 ``detect FILE.c``
     Compile a mini-C file and report every detected reduction (plus the
-    icc/Polly baseline verdicts with ``--baselines``).
+    icc/Polly baseline verdicts with ``--baselines``).  ``--spec`` adds
+    user ``.icsl`` idiom files (custom idioms are matched and counted;
+    a file idiom named like a built-in replaces it), ``--list-idioms``
+    prints the registry.
 
 ``emit FILE.c``
     Print the canonical SSA IR after the full pass pipeline.
@@ -35,9 +38,34 @@ def _read(path: str) -> str:
         return handle.read()
 
 
+def _build_registry(spec_paths):
+    from .idioms import IdiomRegistry
+
+    registry = IdiomRegistry()
+    for path in spec_paths or ():
+        registry.load_file(path)
+    return registry
+
+
 def _cmd_detect(args) -> int:
+    from .constraints import SolverContext, SpecFileError, detect as solve
+
+    try:
+        registry = _build_registry(args.spec)
+    except (OSError, ValueError, SpecFileError) as exc:
+        # ValueError covers UnicodeDecodeError from non-text files.
+        print(f"error: cannot load spec file: {exc}", file=sys.stderr)
+        return 2
+    if args.list_idioms:
+        print(registry.describe())
+        if args.file is None:
+            return 0
+    if args.file is None:
+        print("error: a FILE.c argument is required unless --list-idioms",
+              file=sys.stderr)
+        return 2
     module = compile_source(_read(args.file), args.file)
-    report = find_reductions(module)
+    report = find_reductions(module, registry=registry)
     print(report.summary())
     for scalar in report.scalars:
         arrays = ", ".join(b.short_name() for b in scalar.input_bases)
@@ -48,6 +76,24 @@ def _cmd_detect(args) -> int:
         checks = "; ".join(c.describe() for c in histogram.runtime_checks)
         print(f"  histogram {histogram.name}  op={histogram.op.value}  "
               f"({kind} index)  checks [{checks}]")
+    custom = registry.custom()
+    if custom:
+        # Reuse the analyses detection already computed per function.
+        contexts = [
+            (fr.function,
+             fr.solver_context or SolverContext(fr.function, module))
+            for fr in report.functions
+        ]
+        for entry in custom:
+            total = 0
+            for function, ctx in contexts:
+                matches = solve(ctx, entry.spec)
+                if matches:
+                    print(f"  custom    {entry.name}  {len(matches)} "
+                          f"match(es) in {function.name}")
+                total += len(matches)
+            if total == 0:
+                print(f"  custom    {entry.name}  no matches")
     if args.baselines:
         from .baselines import icc, polly
 
@@ -118,9 +164,13 @@ def main(argv: list[str] | None = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
 
     detect_cmd = commands.add_parser("detect", help="detect reductions")
-    detect_cmd.add_argument("file")
+    detect_cmd.add_argument("file", nargs="?", default=None)
     detect_cmd.add_argument("--baselines", action="store_true",
                             help="also run the icc/Polly models")
+    detect_cmd.add_argument("--spec", action="append", metavar="FILE.icsl",
+                            help="load extra idiom spec file(s)")
+    detect_cmd.add_argument("--list-idioms", action="store_true",
+                            help="print the idiom registry")
     detect_cmd.set_defaults(fn=_cmd_detect)
 
     emit_cmd = commands.add_parser("emit", help="print canonical SSA IR")

@@ -32,12 +32,29 @@ from .flow import (
     FlowChecker,
     FlowPolicy,
     FlowResult,
+    declarative_flow,
     root_base,
     stored_bases,
 )
 from .logical import ConstraintAnd, ConstraintOr
-from .solver import SolverStats, detect, detect_brute_force
-from .specfile import SpecFileError, load_spec_file, parse_spec_text
+from .predicates import PREDICATE_ATOMS, register_predicate_atom
+from .solver import (
+    CompiledSpec,
+    SolverStats,
+    compile_spec,
+    detect,
+    detect_brute_force,
+    suggest_order,
+)
+from .specfile import (
+    BUILTIN_SPEC_FILES,
+    SpecFileError,
+    builtin_spec_dir,
+    builtin_spec_path,
+    load_spec_file,
+    parse_spec_text,
+    render_spec_text,
+)
 
 __all__ = [
     "Constraint",
@@ -68,12 +85,22 @@ __all__ = [
     "FlowChecker",
     "FlowResult",
     "ComputedOnlyFrom",
+    "declarative_flow",
     "root_base",
     "stored_bases",
     "detect",
     "detect_brute_force",
     "SolverStats",
+    "CompiledSpec",
+    "compile_spec",
+    "suggest_order",
+    "PREDICATE_ATOMS",
+    "register_predicate_atom",
     "load_spec_file",
     "parse_spec_text",
+    "render_spec_text",
     "SpecFileError",
+    "BUILTIN_SPEC_FILES",
+    "builtin_spec_dir",
+    "builtin_spec_path",
 ]

@@ -317,6 +317,11 @@ class PhiOfTwo(Constraint):
             return True
         if not isinstance(x, PhiInst) or len(x.incoming) != 2:
             return False
+        if all(label in assignment for label in self.labels[1:]):
+            # Fully bound: the verdict must be exact — the solver never
+            # re-walks the tree with check(), so a weaker answer here
+            # would admit Φ(a, a) against a Φ(t, 0) instruction.
+            return self.check(ctx, assignment)
         values = x.incoming_values()
         for label in self.labels[1:]:
             bound = assignment.get(label)

@@ -96,6 +96,11 @@ class Constraint:
         The default implementation is the paper's ``c_k`` construction
         (§3.3): a constraint whose labels are not yet all assigned is
         replaced by constant true.
+
+        Contract: overrides must agree with :meth:`check` once *all*
+        labels are bound (``c_n = c``) — the solver prunes with this
+        method only and never re-walks the tree with ``check`` on full
+        assignments.  The differential tests enforce this.
         """
         if all(label in assignment for label in self.labels):
             return self.check(ctx, assignment)

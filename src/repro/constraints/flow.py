@@ -317,3 +317,69 @@ class ComputedOnlyFrom(Constraint):
         return checker.check(
             assignment[self.output_label], data_policy, control_policy
         ).ok
+
+
+def declarative_flow(
+    output: str,
+    header: str,
+    sources: tuple[str, ...] = (),
+    rejected: tuple[str, ...] = (),
+    forbidden: tuple[str, ...] = (),
+    index: tuple[str, ...] = (),
+    affine: bool = False,
+    loads: bool = True,
+) -> ComputedOnlyFrom:
+    """A :class:`ComputedOnlyFrom` whose policies are described by label
+    names instead of a Python factory — the ICSL ``flow(...)`` atom.
+
+    The data slice allows the ``sources`` labels as origins and rejects
+    the ``rejected`` ones; the control slice is derived by additionally
+    rejecting the sources (§3.1.1: branch conditions may not observe
+    partial results — this is what rejects the §2 ``t1 <= sx``
+    counterexample).  ``forbidden`` names base pointers loads may never
+    come from, ``index`` names values allowed inside address
+    computations only, ``affine`` requires load indices affine in the
+    loop nest, and ``loads=False`` forbids in-loop reads entirely.
+    """
+    sources = tuple(sources)
+    rejected = tuple(rejected)
+    forbidden = tuple(forbidden)
+    index = tuple(index)
+
+    def factory(ctx, assignment):
+        def resolve(names: tuple[str, ...]):
+            return tuple(assignment[n] for n in names)
+
+        data = FlowPolicy(
+            extra_sources=resolve(sources),
+            rejected=resolve(rejected),
+            forbidden_bases=resolve(forbidden),
+            allow_loads=loads,
+            index_sources=resolve(index),
+            require_affine_index=affine,
+        )
+        control = FlowPolicy(
+            rejected=resolve(rejected) + resolve(sources),
+            forbidden_bases=resolve(forbidden),
+            allow_loads=loads,
+            index_sources=resolve(index),
+            require_affine_index=affine,
+        )
+        return data, control
+
+    extra = tuple(dict.fromkeys(sources + rejected + forbidden + index))
+    constraint = ComputedOnlyFrom(output, header, factory, extra_labels=extra)
+    constraint.spec_atom = (
+        "flow",
+        {
+            "output": output,
+            "header": header,
+            "sources": sources,
+            "rejected": rejected,
+            "forbidden": forbidden,
+            "index": index,
+            "affine": affine,
+            "loads": loads,
+        },
+    )
+    return constraint

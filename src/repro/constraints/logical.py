@@ -13,6 +13,21 @@ from ..ir.values import Value
 from .core import Assignment, Constraint, SolverContext
 
 
+def intersect_proposals(proposals: list[list[Value]]) -> list[Value]:
+    """Intersect candidate lists, keeping the order of the smallest.
+
+    Shared by :meth:`ConstraintAnd.propose` and the compiled solver's
+    proposal path so the two can never diverge in ordering or dedup
+    semantics (the solver guarantees identical enumeration).
+    """
+    proposals.sort(key=len)
+    result = proposals[0]
+    for other in proposals[1:]:
+        other_ids = {id(v) for v in other}
+        result = [v for v in result if id(v) in other_ids]
+    return result
+
+
 def _flatten(kind, constraints):
     flat: list[Constraint] = []
     for constraint in constraints:
@@ -58,13 +73,7 @@ class ConstraintAnd(Constraint):
                 proposals.append(list(candidates))
         if not proposals:
             return None
-        # Intersect, keeping the order of the smallest proposal.
-        proposals.sort(key=len)
-        result = proposals[0]
-        for other in proposals[1:]:
-            other_ids = {id(v) for v in other}
-            result = [v for v in result if id(v) in other_ids]
-        return result
+        return intersect_proposals(proposals)
 
 
 class ConstraintOr(Constraint):

@@ -1,0 +1,121 @@
+"""Named predicate atoms shared by native specs and ICSL spec files.
+
+The Fig. 5-style structural atoms cover most of an idiom, but each of
+the shipped idioms also needs a handful of conditions that are cheap to
+state as Python predicates (e.g. "the bound blocks form a natural loop
+headed by ``header``").  So that external ``.icsl`` files can express
+the *same* specifications as the native Python modules, every such
+predicate lives here as a **named factory**: given label names it
+returns a :class:`~repro.constraints.atomic.Predicate` bound to those
+labels, and the factory's name doubles as an ICSL atom —
+
+    natural_loop(header, body, latch, entry, exit)
+    update_in_loop(header, acc_update)
+
+Use :func:`register_predicate_atom` to add new named predicates; both
+the native specs (``repro.idioms.*``) and the spec-file parser resolve
+through :data:`PREDICATE_ATOMS`, so the two paths cannot drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ir.block import BasicBlock
+from ..ir.instructions import Instruction, LoadInst, StoreInst
+from .atomic import Predicate
+
+#: name -> factory(*label_names) -> Predicate
+PREDICATE_ATOMS: dict[str, Callable[..., Predicate]] = {}
+
+
+def register_predicate_atom(name: str):
+    """Register ``factory`` as the named ICSL predicate atom ``name``."""
+
+    def decorate(factory: Callable[..., Predicate]):
+        PREDICATE_ATOMS[name] = factory
+        factory.atom_name = name
+        return factory
+
+    return decorate
+
+
+def _named(name: str, labels: tuple[str, ...], fn) -> Predicate:
+    predicate = Predicate(labels, fn, name=name)
+    predicate.spec_atom = (name, labels)
+    return predicate
+
+
+@register_predicate_atom("natural_loop")
+def natural_loop(header: str, body: str, latch: str, entry: str,
+                 exit: str) -> Predicate:
+    """The bound blocks form a natural loop headed by ``header``, with
+    ``body``/``latch`` inside it and ``entry``/``exit`` outside."""
+
+    def fn(ctx, assignment):
+        head = assignment[header]
+        if not isinstance(head, BasicBlock):
+            return False
+        loop = ctx.loop_info.loop_with_header(head)
+        if loop is None:
+            return False
+        return (
+            assignment[body] in loop.blocks
+            and assignment[latch] in loop.blocks
+            and assignment[entry] not in loop.blocks
+            and assignment[exit] not in loop.blocks
+        )
+
+    return _named("natural_loop", (header, body, latch, entry, exit), fn)
+
+
+@register_predicate_atom("update_in_loop")
+def update_in_loop(header: str, update: str) -> Predicate:
+    """``update`` is an instruction computed inside the natural loop
+    headed by ``header`` (it changes per iteration)."""
+
+    def fn(ctx, assignment):
+        head = assignment[header]
+        upd = assignment[update]
+        if not isinstance(head, BasicBlock) or not isinstance(upd, Instruction):
+            return False
+        loop = ctx.loop_info.loop_with_header(head)
+        return loop is not None and upd.parent in loop.blocks
+
+    return _named("update_in_loop", (header, update), fn)
+
+
+@register_predicate_atom("store_directly_in_loop")
+def store_directly_in_loop(header: str, store: str) -> Predicate:
+    """``store``'s innermost enclosing loop is the loop headed by
+    ``header`` (not a nested loop — §6.1's SP miss)."""
+
+    def fn(ctx, assignment):
+        head = assignment[header]
+        st = assignment[store]
+        if not isinstance(head, BasicBlock) or not isinstance(st, StoreInst):
+            return False
+        loop = ctx.loop_info.loop_with_header(head)
+        if loop is None or st.parent not in loop.blocks:
+            return False
+        return ctx.loop_info.innermost_loop_of(st.parent) is loop
+
+    return _named("store_directly_in_loop", (header, store), fn)
+
+
+@register_predicate_atom("load_before_store")
+def load_before_store(load: str, store: str) -> Predicate:
+    """``load`` and ``store`` form one read-modify-write: both in the
+    same block, the read before the write."""
+
+    def fn(ctx, assignment):
+        ld = assignment[load]
+        st = assignment[store]
+        if not isinstance(ld, LoadInst) or not isinstance(st, StoreInst):
+            return False
+        block = ld.parent
+        if block is None or block is not st.parent:
+            return False
+        return block.instructions.index(ld) < block.instructions.index(st)
+
+    return _named("load_before_store", (load, store), fn)

@@ -3,19 +3,28 @@
 §3.4: *"In the future such specifications may be read from external
 files at runtime, avoiding the need for recompilation to experiment
 with analysis passes."*  This module implements that: a small textual
-language whose statements map 1:1 onto the atomic constraints, loaded
-at runtime into ordinary :class:`~repro.constraints.core.IdiomSpec`
-objects the unmodified solver executes.
+language — ICSL, the *idiom constraint specification language* — whose
+statements map 1:1 onto the atomic constraints, loaded at runtime into
+ordinary :class:`~repro.constraints.core.IdiomSpec` objects the
+unmodified solver executes.  The shipped ``specs/*.icsl`` files are
+complete ports of the three native idiom specifications; see
+``docs/icsl.md`` for a tutorial.
 
 Grammar (line oriented; ``#`` and ``;`` start comments)::
 
-    idiom NAME {
+    idiom NAME [extends BASE] {
       order: label1 label2 ...
       ATOM(args) [commutative]
-      ATOM(args) | ATOM(args)        # disjunction
+      ATOM(args) | ATOM(args)             # disjunction
+      (ATOM(a) & ATOM(b)) | ATOM(c)       # nested conjunction group
     }
 
-Atoms::
+Each statement line is one conjunct of the idiom; within a line ``|``
+and ``&`` combine atoms, with parentheses for grouping.  ``extends``
+prepends every conjunct of a previously defined (or shipped built-in)
+idiom; the extending idiom restates the full label order.
+
+Structural atoms::
 
     edge(a, b)              CFG edge a -> b
     branch(block, target)   block ends in ``br target``
@@ -33,11 +42,30 @@ Atoms::
     defdom(x, block)        x's definition dominates block
     invariant(x, block)     shorthand for constant(x) | defdom(x, block)
     distinct(a, b, ...)
-    naturalloop(header, body, latch, entry, exit)
+
+Named predicate atoms (see :mod:`repro.constraints.predicates`)::
+
+    natural_loop(header, body, latch, entry, exit)
+    update_in_loop(header, update)
+    store_directly_in_loop(header, store)
+    load_before_store(load, store)
+
+Generalized graph domination (§3.1.2)::
+
+    flow(output, header, sources=a+b, rejected=i, forbidden=p,
+         index=i, affine, noloads)
+
+``output`` is the sliced value, ``header`` the loop header; ``sources``
+are allowed origins, ``rejected`` forbidden values, ``forbidden`` base
+pointers loads may not touch, ``index`` values additionally allowed in
+address computations; ``affine`` requires affine load indices and
+``noloads`` forbids in-loop reads.  The control slice automatically
+rejects the sources (conditions may not observe partial results).
 """
 
 from __future__ import annotations
 
+import os
 import re
 
 from .atomic import (
@@ -60,153 +88,464 @@ from .atomic import (
     StrictlyPostDominates,
 )
 from .core import Constraint, IdiomSpec
+from .flow import ComputedOnlyFrom, declarative_flow
 from .logical import ConstraintAnd, ConstraintOr
+from .predicates import PREDICATE_ATOMS
 
 
 class SpecFileError(Exception):
-    """Raised on malformed specification files."""
+    """Raised on malformed specification files.
+
+    ``line`` carries the 1-based source line the error was detected on
+    (None when the error is not tied to a specific line).
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        super().__init__(message)
+        self.line = line
 
 
-_ATOM_RE = re.compile(
-    r"^(?P<name>[a-z_][a-z0-9_]*)\((?P<args>[^()]*)\)(?P<flags>(?:\s+\w+)*)$"
-)
+#: The spec files shipped inside the package, in dependency order.
+BUILTIN_SPEC_FILES: dict[str, str] = {
+    "for-loop": "forloop.icsl",
+    "scalar-reduction": "scalar_reduction.icsl",
+    "histogram": "histogram.icsl",
+}
 
 
-def _natural_loop_predicate(ctx, assignment):
-    from ..ir.block import BasicBlock
+def builtin_spec_dir() -> str:
+    """Directory holding the shipped ``.icsl`` files."""
+    return os.path.join(os.path.dirname(__file__), "specs")
 
-    header = assignment["header"]
-    if not isinstance(header, BasicBlock):
-        return False
-    loop = ctx.loop_info.loop_with_header(header)
-    if loop is None:
-        return False
-    return (
-        assignment["body"] in loop.blocks
-        and assignment["latch"] in loop.blocks
-        and assignment["entry"] not in loop.blocks
-        and assignment["exit"] not in loop.blocks
+
+def builtin_spec_path(name: str) -> str:
+    """Path of the shipped spec file defining built-in idiom ``name``."""
+    try:
+        return os.path.join(builtin_spec_dir(), BUILTIN_SPEC_FILES[name])
+    except KeyError:
+        raise SpecFileError(f"no built-in spec named {name!r}") from None
+
+
+# -- statement tokenizer / parser ---------------------------------------------
+
+_TOKEN_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|[(),|&=+]")
+
+#: Flags allowed after an atom's closing parenthesis.
+_ATOM_FLAGS = frozenset({"commutative"})
+
+#: Bare flags allowed inside a ``flow(...)`` argument list.
+_FLOW_FLAGS = frozenset({"affine", "noloads"})
+
+#: Keyword arguments of ``flow(...)`` (label lists joined with ``+``).
+_FLOW_KEYWORDS = frozenset({"sources", "rejected", "forbidden", "index"})
+
+
+def _tokenize(line: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(line):
+        if line[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(line, pos)
+        if match is None:
+            raise SpecFileError(f"bad character {line[pos]!r} in {line!r}")
+        tokens.append(match.group(0))
+        pos = match.end()
+    return tokens
+
+
+class _StatementParser:
+    """Recursive-descent parser for one constraint statement line."""
+
+    def __init__(self, line: str):
+        self.line = line
+        self.tokens = _tokenize(line)
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SpecFileError(f"unexpected end of statement: {self.line!r}")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise SpecFileError(
+                f"expected {token!r} but found {got!r} in {self.line!r}"
+            )
+
+    def expect_ident(self) -> str:
+        token = self.next()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            raise SpecFileError(
+                f"expected a name but found {token!r} in {self.line!r}"
+            )
+        return token
+
+    # expression := and_expr ('|' and_expr)*
+    def parse(self) -> Constraint:
+        constraint = self._or_expr()
+        if self.peek() is not None:
+            raise SpecFileError(
+                f"trailing {self.peek()!r} in statement {self.line!r}"
+            )
+        return constraint
+
+    def _or_expr(self) -> Constraint:
+        disjuncts = [self._and_expr()]
+        while self.peek() == "|":
+            self.next()
+            disjuncts.append(self._and_expr())
+        if len(disjuncts) == 1:
+            return disjuncts[0]
+        return ConstraintOr(*disjuncts)
+
+    def _and_expr(self) -> Constraint:
+        conjuncts = [self._primary()]
+        while self.peek() == "&":
+            self.next()
+            conjuncts.append(self._primary())
+        if len(conjuncts) == 1:
+            return conjuncts[0]
+        return ConstraintAnd(*conjuncts)
+
+    def _primary(self) -> Constraint:
+        if self.peek() == "(":
+            self.next()
+            inner = self._or_expr()
+            self.expect(")")
+            return inner
+        return self._atom()
+
+    def _atom(self) -> Constraint:
+        name = self.expect_ident()
+        self.expect("(")
+        positional: list[str] = []
+        keywords: dict[str, list[str]] = {}
+        if self.peek() != ")":
+            while True:
+                ident = self.expect_ident()
+                if self.peek() == "=":
+                    self.next()
+                    values = [self.expect_ident()]
+                    while self.peek() == "+":
+                        self.next()
+                        values.append(self.expect_ident())
+                    keywords[ident] = values
+                else:
+                    positional.append(ident)
+                if self.peek() == ",":
+                    self.next()
+                    continue
+                break
+        self.expect(")")
+        flags: set[str] = set()
+        while self.peek() in _ATOM_FLAGS:
+            flags.add(self.next())
+        return _build_atom(name, positional, keywords, flags)
+
+
+# -- atom construction --------------------------------------------------------
+
+_SIMPLE_ATOMS = {
+    "edge": CFGEdge,
+    "branch": EndsInUncondBranch,
+    "condbranch": EndsInCondBranch,
+    "dominates": Dominates,
+    "postdominates": PostDominates,
+    "strictlydominates": StrictlyDominates,
+    "strictlypostdominates": StrictlyPostDominates,
+    "blocked": Blocked,
+    "sese": SESERegion,
+    "phi2": PhiOfTwo,
+    "phiedge": PhiIncomingFromBlock,
+    "inblock": InBlock,
+    "constant": IsConstantLike,
+    "defdom": DefDominatesBlock,
+    "distinct": Distinct,
+}
+
+
+def _build_flow(args: list[str], keywords: dict[str, list[str]]) -> Constraint:
+    labels = [a for a in args if a not in _FLOW_FLAGS]
+    flags = {a for a in args if a in _FLOW_FLAGS}
+    if len(labels) != 2:
+        raise SpecFileError(
+            "flow(output, header, ...) needs exactly two positional labels"
+        )
+    unknown = set(keywords) - _FLOW_KEYWORDS
+    if unknown:
+        raise SpecFileError(
+            f"unknown flow keyword(s) {sorted(unknown)}; "
+            f"expected one of {sorted(_FLOW_KEYWORDS)}"
+        )
+    return declarative_flow(
+        labels[0],
+        labels[1],
+        sources=tuple(keywords.get("sources", ())),
+        rejected=tuple(keywords.get("rejected", ())),
+        forbidden=tuple(keywords.get("forbidden", ())),
+        index=tuple(keywords.get("index", ())),
+        affine="affine" in flags,
+        loads="noloads" not in flags,
     )
 
 
-def _build_atom(name: str, args: list[str], flags: set[str]) -> Constraint:
+def _build_atom(
+    name: str,
+    args: list[str],
+    keywords: dict[str, list[str]],
+    flags: set[str],
+) -> Constraint:
+    if name == "flow":
+        return _build_flow(args, keywords)
+    if keywords:
+        raise SpecFileError(
+            f"atom {name!r} takes no keyword arguments "
+            f"(got {sorted(keywords)})"
+        )
     commutative = "commutative" in flags
-    if name == "edge":
-        return CFGEdge(*args)
-    if name == "branch":
-        return EndsInUncondBranch(*args)
-    if name == "condbranch":
-        return EndsInCondBranch(*args)
-    if name == "dominates":
-        return Dominates(*args)
-    if name == "postdominates":
-        return PostDominates(*args)
-    if name == "strictlydominates":
-        return StrictlyDominates(*args)
-    if name == "strictlypostdominates":
-        return StrictlyPostDominates(*args)
-    if name == "blocked":
-        return Blocked(*args)
-    if name == "sese":
-        return SESERegion(*args)
     if name == "opcode":
         if len(args) < 2:
             raise SpecFileError("opcode(x, OP, ...) needs two arguments")
         x, op, *operands = args
         labels = tuple(None if o == "_" else o for o in operands)
         return Opcode(x, op, labels, commutative=commutative)
-    if name == "phi2":
-        return PhiOfTwo(*args)
-    if name == "phiedge":
-        return PhiIncomingFromBlock(*args)
-    if name == "inblock":
-        return InBlock(*args)
-    if name == "constant":
-        return IsConstantLike(*args)
-    if name == "defdom":
-        return DefDominatesBlock(*args)
+    if "_" in args:
+        raise SpecFileError(f"atom {name!r} does not accept '_' wildcards")
     if name == "invariant":
+        if len(args) != 2:
+            raise SpecFileError("invariant(x, block) needs two arguments")
         value, block = args
         return ConstraintOr(
             IsConstantLike(value), DefDominatesBlock(value, block)
         )
-    if name == "distinct":
-        return Distinct(*args)
-    if name == "naturalloop":
-        expected = ("header", "body", "latch", "entry", "exit")
-        if tuple(args) != expected:
-            raise SpecFileError(
-                f"naturalloop expects labels {expected}, got {tuple(args)}"
-            )
-        return Predicate(expected, _natural_loop_predicate,
-                         name="natural-loop")
-    raise SpecFileError(f"unknown atom {name!r}")
+    if name == "naturalloop":  # legacy alias of natural_loop
+        name = "natural_loop"
+    factory = _SIMPLE_ATOMS.get(name) or PREDICATE_ATOMS.get(name)
+    if factory is None:
+        raise SpecFileError(f"unknown atom {name!r}")
+    try:
+        return factory(*args)
+    except TypeError:
+        raise SpecFileError(
+            f"atom {name!r} got {len(args)} argument(s)"
+        ) from None
 
 
 def _parse_statement(line: str) -> Constraint:
-    disjuncts = [part.strip() for part in line.split("|")]
-    constraints = []
-    for disjunct in disjuncts:
-        match = _ATOM_RE.match(disjunct)
-        if match is None:
-            raise SpecFileError(f"cannot parse statement: {line!r}")
-        args = [a.strip() for a in match.group("args").split(",")
-                if a.strip()]
-        flags = set(match.group("flags").split())
-        constraints.append(_build_atom(match.group("name"), args, flags))
-    if len(constraints) == 1:
-        return constraints[0]
-    return ConstraintOr(*constraints)
+    return _StatementParser(line).parse()
 
 
-def parse_spec_text(text: str) -> dict[str, IdiomSpec]:
-    """Parse specification source into named idiom specs."""
+# -- file-level parser --------------------------------------------------------
+
+_IDIOM_HEADER_RE = re.compile(
+    r"^idiom\s+(?P<name>[\w\-]+)"
+    r"(?:\s+extends\s+(?P<base>[\w\-]+))?\s*\{$"
+)
+
+
+def _base_conjuncts(
+    base_name: str,
+    specs: dict[str, IdiomSpec],
+    known: dict[str, IdiomSpec],
+    loading: frozenset[str],
+) -> list[Constraint]:
+    base = specs.get(base_name) or known.get(base_name)
+    if base is None and base_name in BUILTIN_SPEC_FILES:
+        if base_name in loading:
+            raise SpecFileError(
+                f"circular extends through built-in idiom {base_name!r}"
+            )
+        builtin = load_spec_file(
+            builtin_spec_path(base_name), _loading=loading | {base_name}
+        )
+        base = builtin.get(base_name)
+    if base is None:
+        raise SpecFileError(
+            f"extends references unknown idiom {base_name!r}"
+        )
+    root = base.constraint
+    if isinstance(root, ConstraintAnd):
+        return list(root.children)
+    return [root]
+
+
+def parse_spec_text(
+    text: str,
+    known: dict[str, IdiomSpec] | None = None,
+    _loading: frozenset[str] = frozenset(),
+) -> dict[str, IdiomSpec]:
+    """Parse specification source into named idiom specs.
+
+    ``known`` supplies previously loaded idioms that ``extends`` clauses
+    may reference (built-in idioms resolve automatically).  Errors carry
+    the offending 1-based source line in :attr:`SpecFileError.line`.
+    """
+    known = known or {}
     specs: dict[str, IdiomSpec] = {}
     current_name: str | None = None
+    block_start = 0
     order: tuple[str, ...] | None = None
     constraints: list[Constraint] = []
 
-    for raw in text.splitlines():
+    def error(lineno: int, message: str) -> None:
+        raise SpecFileError(f"line {lineno}: {message}", line=lineno)
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#")[0].split(";")[0].strip()
         if not line:
             continue
-        header = re.match(r"^idiom\s+(?P<name>[\w\-]+)\s*\{$", line)
+        header = _IDIOM_HEADER_RE.match(line)
         if header:
             if current_name is not None:
-                raise SpecFileError("nested idiom blocks are not allowed")
+                error(lineno, "nested idiom blocks are not allowed")
             current_name = header.group("name")
+            block_start = lineno
             order = None
             constraints = []
+            base_name = header.group("base")
+            if base_name is not None:
+                try:
+                    constraints.extend(
+                        _base_conjuncts(base_name, specs, known, _loading)
+                    )
+                except SpecFileError as exc:
+                    if exc.line is None:
+                        error(lineno, str(exc))
+                    raise
             continue
         if line == "}":
             if current_name is None:
-                raise SpecFileError("unmatched '}'")
+                error(lineno, "unmatched '}'")
             if order is None:
-                raise SpecFileError(
-                    f"idiom {current_name!r} has no order: line"
-                )
+                error(lineno, f"idiom {current_name!r} has no order: line")
             if not constraints:
-                raise SpecFileError(
-                    f"idiom {current_name!r} has no constraints"
+                error(lineno, f"idiom {current_name!r} has no constraints")
+            try:
+                specs[current_name] = IdiomSpec(
+                    current_name, order, ConstraintAnd(*constraints)
                 )
-            specs[current_name] = IdiomSpec(
-                current_name, order, ConstraintAnd(*constraints)
-            )
+            except ValueError as exc:
+                error(lineno, str(exc))
             current_name = None
             continue
         if current_name is None:
-            raise SpecFileError(f"statement outside idiom block: {line!r}")
+            error(lineno, f"statement outside idiom block: {line!r}")
         if line.startswith("order:"):
             order = tuple(line[len("order:"):].split())
             continue
-        constraints.append(_parse_statement(line))
+        try:
+            constraints.append(_parse_statement(line))
+        except SpecFileError as exc:
+            if exc.line is None:
+                error(lineno, str(exc))
+            raise
 
     if current_name is not None:
-        raise SpecFileError(f"unterminated idiom {current_name!r}")
+        raise SpecFileError(
+            f"line {block_start}: unterminated idiom {current_name!r}",
+            line=block_start,
+        )
     return specs
 
 
-def load_spec_file(path: str) -> dict[str, IdiomSpec]:
+def load_spec_file(
+    path: str,
+    known: dict[str, IdiomSpec] | None = None,
+    _loading: frozenset[str] = frozenset(),
+) -> dict[str, IdiomSpec]:
     """Load idiom specifications from a file."""
     with open(path) as handle:
-        return parse_spec_text(handle.read())
+        return parse_spec_text(handle.read(), known=known, _loading=_loading)
+
+
+# -- rendering (the parse inverse) --------------------------------------------
+
+_RENDER_SIMPLE = {cls: name for name, cls in _SIMPLE_ATOMS.items()}
+
+
+def _render_flow(params: dict) -> str:
+    parts = [params["output"], params["header"]]
+    for key in ("sources", "rejected", "forbidden", "index"):
+        values = params.get(key, ())
+        if values:
+            parts.append(f"{key}={'+'.join(values)}")
+    if params.get("affine"):
+        parts.append("affine")
+    if not params.get("loads", True):
+        parts.append("noloads")
+    return f"flow({', '.join(parts)})"
+
+
+def _render_constraint(constraint: Constraint, nested: bool = False) -> str:
+    if isinstance(constraint, ConstraintAnd):
+        body = " & ".join(
+            _render_constraint(c, nested=True) for c in constraint.children
+        )
+        return f"({body})" if nested else body
+    if isinstance(constraint, ConstraintOr):
+        body = " | ".join(
+            _render_constraint(c, nested=True) for c in constraint.children
+        )
+        return f"({body})" if nested else body
+    if isinstance(constraint, Opcode):
+        atoms = []
+        for opcode in constraint.opcodes:
+            args = [constraint.x_label, opcode]
+            args.extend(
+                "_" if label is None else label
+                for label in constraint.operand_labels
+            )
+            flag = " commutative" if constraint.commutative else ""
+            atoms.append(f"opcode({', '.join(args)}){flag}")
+        if len(atoms) == 1:
+            return atoms[0]
+        body = " | ".join(atoms)
+        return f"({body})" if nested else body
+    spec_atom = getattr(constraint, "spec_atom", None)
+    if isinstance(constraint, (Predicate, ComputedOnlyFrom)):
+        if spec_atom is None:
+            raise SpecFileError(
+                f"constraint {constraint!r} was not built from a named "
+                f"atom and cannot be rendered"
+            )
+        name, args = spec_atom
+        if name == "flow":
+            return _render_flow(args)
+        return f"{name}({', '.join(args)})"
+    atom = _RENDER_SIMPLE.get(type(constraint))
+    if atom is None:
+        raise SpecFileError(
+            f"no ICSL syntax for constraint type {type(constraint).__name__}"
+        )
+    return f"{atom}({', '.join(constraint.labels)})"
+
+
+def render_spec_text(specs: dict[str, IdiomSpec]) -> str:
+    """Render idiom specs back to ICSL source — the parse inverse.
+
+    ``parse_spec_text(render_spec_text(specs))`` yields equivalent specs
+    (``extends`` and the ``invariant``/``naturalloop`` shorthands render
+    in their expanded forms, so the text is flattened but the constraint
+    trees and solution sets are preserved).
+    """
+    blocks: list[str] = []
+    for name, spec in specs.items():
+        lines = [f"idiom {name} {{"]
+        lines.append(f"  order: {' '.join(spec.label_order)}")
+        root = spec.constraint
+        conjuncts = (
+            list(root.children) if isinstance(root, ConstraintAnd) else [root]
+        )
+        for conjunct in conjuncts:
+            lines.append(f"  {_render_constraint(conjunct)}")
+        lines.append("}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"

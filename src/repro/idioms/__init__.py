@@ -25,6 +25,13 @@ from .postprocess import (
     base_memory_ops_confined,
     classify_update,
 )
+from .registry import (
+    BUILTIN_IDIOMS,
+    IdiomRegistry,
+    RegisteredIdiom,
+    default_registry,
+    reset_default_registry,
+)
 from .reports import (
     AliasCheck,
     DetectionReport,
@@ -43,6 +50,11 @@ __all__ = [
     "find_reductions",
     "find_reductions_in_function",
     "find_for_loops",
+    "IdiomRegistry",
+    "RegisteredIdiom",
+    "BUILTIN_IDIOMS",
+    "default_registry",
+    "reset_default_registry",
     "for_loop_spec",
     "for_loop_constraint",
     "ForLoopMatch",

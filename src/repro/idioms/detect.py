@@ -5,6 +5,10 @@ idiom specifications over every function, post-processes the solver
 matches (associativity classification, accumulator confinement,
 privatization safety, alias check generation) and returns a
 :class:`~repro.idioms.reports.DetectionReport`.
+
+Specs are resolved through the :class:`~repro.idioms.registry.
+IdiomRegistry` (the shipped ``.icsl`` files by default), so a caller
+can swap in experimental specifications without touching this module.
 """
 
 from __future__ import annotations
@@ -15,14 +19,13 @@ from ..constraints import FlowChecker, FlowPolicy, SolverContext, detect
 from ..constraints.flow import root_base
 from ..ir.function import Function
 from ..ir.module import Module
-from .forloop import for_loop_spec
-from .histogram import histogram_spec
 from .postprocess import (
     accumulator_confined,
     alias_checks_for,
     base_memory_ops_confined,
     classify_update,
 )
+from .registry import IdiomRegistry, default_registry
 from .reports import (
     DetectionReport,
     FunctionReductions,
@@ -30,22 +33,22 @@ from .reports import (
     ReductionOp,
     ScalarReduction,
 )
-from .scalar_reduction import scalar_reduction_spec
-
-_SCALAR_SPEC = scalar_reduction_spec()
-_HISTOGRAM_SPEC = histogram_spec()
-_FORLOOP_SPEC = for_loop_spec()
 
 
 def find_reductions_in_function(
-    function: Function, module: Module | None = None
+    function: Function,
+    module: Module | None = None,
+    registry: IdiomRegistry | None = None,
 ) -> FunctionReductions:
     """Detect and post-process all reductions of one function."""
+    registry = registry if registry is not None else default_registry()
+    scalar_spec = registry.spec("scalar-reduction")
+    histogram_spec = registry.spec("histogram")
     ctx = SolverContext(function, module)
-    result = FunctionReductions(function)
+    result = FunctionReductions(function, solver_context=ctx)
 
     seen_scalars: set[tuple[int, int]] = set()
-    for assignment in detect(ctx, _SCALAR_SPEC):
+    for assignment in detect(ctx, scalar_spec):
         key = (id(assignment["header"]), id(assignment["acc"]))
         if key in seen_scalars:
             continue
@@ -55,7 +58,7 @@ def find_reductions_in_function(
             result.scalars.append(record)
 
     seen_histograms: set[tuple[int, int]] = set()
-    for assignment in detect(ctx, _HISTOGRAM_SPEC):
+    for assignment in detect(ctx, histogram_spec):
         key = (id(assignment["header"]), id(assignment["hist_store"]))
         if key in seen_histograms:
             continue
@@ -67,24 +70,33 @@ def find_reductions_in_function(
     return result
 
 
-def find_reductions(module: Module) -> DetectionReport:
+def find_reductions(
+    module: Module, registry: IdiomRegistry | None = None
+) -> DetectionReport:
     """Detect reductions in every defined function of ``module``."""
     report = DetectionReport(module.name)
     started = time.perf_counter()
     for function in module.defined_functions():
-        report.functions.append(find_reductions_in_function(function, module))
+        report.functions.append(
+            find_reductions_in_function(function, module, registry=registry)
+        )
     report.solve_seconds = time.perf_counter() - started
     return report
 
 
-def find_for_loops(function: Function, module: Module | None = None):
+def find_for_loops(
+    function: Function,
+    module: Module | None = None,
+    registry: IdiomRegistry | None = None,
+):
     """All canonical for-loop matches in one function (Fig. 5 alone)."""
     from .forloop import ForLoopMatch
 
+    registry = registry if registry is not None else default_registry()
     ctx = SolverContext(function, module)
     matches = []
     seen: set[int] = set()
-    for assignment in detect(ctx, _FORLOOP_SPEC):
+    for assignment in detect(ctx, registry.spec("for-loop")):
         key = id(assignment["header"])
         if key in seen:
             continue

@@ -36,10 +36,10 @@ from ..constraints import (
     Opcode,
     PhiIncomingFromBlock,
     PhiOfTwo,
-    Predicate,
     SESERegion,
     SolverContext,
 )
+from ..constraints.predicates import natural_loop
 from ..ir.block import BasicBlock
 from ..ir.instructions import PhiInst
 from ..ir.values import Value
@@ -60,22 +60,6 @@ FOR_LOOP_LABEL_ORDER: tuple[str, ...] = (
     "iter_step",
     "iter_end",
 )
-
-
-def _natural_loop_agrees(ctx: SolverContext, assignment: Assignment) -> bool:
-    """The bound blocks must form a natural loop headed by ``header``."""
-    header = assignment["header"]
-    if not isinstance(header, BasicBlock):
-        return False
-    loop = ctx.loop_info.loop_with_header(header)
-    if loop is None:
-        return False
-    return (
-        assignment["body"] in loop.blocks
-        and assignment["latch"] in loop.blocks
-        and assignment["entry"] not in loop.blocks
-        and assignment["exit"] not in loop.blocks
-    )
 
 
 def loop_invariant_in(value_label: str, entry_label: str) -> ConstraintOr:
@@ -104,11 +88,7 @@ def for_loop_constraint() -> ConstraintAnd:
         loop_invariant_in("iter_step", "entry"),
         loop_invariant_in("iter_end", "entry"),
         Distinct("header", "body", "exit", "entry"),
-        Predicate(
-            ("header", "body", "latch", "entry", "exit"),
-            _natural_loop_agrees,
-            name="natural-loop-agrees",
-        ),
+        natural_loop("header", "body", "latch", "entry", "exit"),
     )
 
 

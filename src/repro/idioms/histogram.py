@@ -31,11 +31,9 @@ from ..constraints import (
     FlowPolicy,
     IdiomSpec,
     Opcode,
-    Predicate,
     SolverContext,
 )
-from ..ir.block import BasicBlock
-from ..ir.instructions import LoadInst, StoreInst
+from ..constraints.predicates import load_before_store, store_directly_in_loop
 from .forloop import FOR_LOOP_LABEL_ORDER, for_loop_constraint, loop_invariant_in
 
 HISTOGRAM_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
@@ -47,32 +45,6 @@ HISTOGRAM_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
     "hist_load",
     "update",
 )
-
-
-def _store_directly_in_loop(ctx: SolverContext, assignment: Assignment) -> bool:
-    """The store's innermost enclosing loop must be the bound loop."""
-    header = assignment["header"]
-    store = assignment["hist_store"]
-    if not isinstance(header, BasicBlock) or not isinstance(store, StoreInst):
-        return False
-    loop = ctx.loop_info.loop_with_header(header)
-    if loop is None or store.parent not in loop.blocks:
-        return False
-    return ctx.loop_info.innermost_loop_of(store.parent) is loop
-
-
-def _load_before_store_same_block(
-    ctx: SolverContext, assignment: Assignment
-) -> bool:
-    """The bin read and write form one read-modify-write in one block."""
-    load = assignment["hist_load"]
-    store = assignment["hist_store"]
-    if not isinstance(load, LoadInst) or not isinstance(store, StoreInst):
-        return False
-    block = load.parent
-    if block is None or block is not store.parent:
-        return False
-    return block.instructions.index(load) < block.instructions.index(store)
 
 
 def _idx_policies(ctx: SolverContext, assignment: Assignment):
@@ -114,16 +86,8 @@ def histogram_constraint() -> ConstraintAnd:
         Opcode("gep_ld", "gep", ("base", "idx")),
         Opcode("hist_load", "load", ("gep_ld",)),
         loop_invariant_in("base", "entry"),
-        Predicate(
-            ("header", "hist_store"),
-            _store_directly_in_loop,
-            name="store-directly-in-loop",
-        ),
-        Predicate(
-            ("hist_load", "hist_store"),
-            _load_before_store_same_block,
-            name="read-modify-write",
-        ),
+        store_directly_in_loop("header", "hist_store"),
+        load_before_store("hist_load", "hist_store"),
         ComputedOnlyFrom(
             "idx",
             "header",

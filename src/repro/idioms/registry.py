@@ -1,0 +1,194 @@
+"""The idiom registry — spec files as the first-class detection path.
+
+§3.4 proposes reading idiom specifications from external files at
+runtime "avoiding the need for recompilation to experiment with
+analysis passes".  :class:`IdiomRegistry` makes that the default: the
+three shipped ``specs/*.icsl`` files are loaded at startup (falling
+back to the native Python specs only if the package data is missing or
+unparsable), user spec files can be added with :meth:`load_file`, and
+:func:`~repro.idioms.detect.find_reductions` resolves every spec it
+runs through the registry — so new reduction scenarios are new text
+files, not new Python.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..constraints import IdiomSpec, SpecFileError, load_spec_file
+from ..constraints.specfile import BUILTIN_SPEC_FILES, builtin_spec_path
+
+#: Built-in idiom names; anything else is a custom idiom.
+BUILTIN_IDIOMS: tuple[str, ...] = tuple(BUILTIN_SPEC_FILES)
+
+#: Labels the post-processing stages read from solver assignments; a
+#: spec replacing a built-in must keep binding them (detect.py's record
+#: builders and ForLoopMatch index assignments by these names).
+REQUIRED_LABELS: dict[str, frozenset[str]] = {
+    "for-loop": frozenset({
+        "header", "body", "latch", "entry", "exit", "test",
+        "iterator", "next_iter", "iter_begin", "iter_step", "iter_end",
+    }),
+    "scalar-reduction": frozenset({
+        "header", "iterator", "acc", "acc_init", "acc_update",
+    }),
+    "histogram": frozenset({
+        "header", "iterator", "base", "idx", "hist_load", "hist_store",
+        "update",
+    }),
+}
+
+
+@dataclass
+class RegisteredIdiom:
+    """One registry entry: the spec plus where it came from."""
+
+    name: str
+    spec: IdiomSpec
+    kind: str  # "for-loop" | "scalar-reduction" | "histogram" | "custom"
+    source: str  # spec file path, or "native" for the Python fallback
+
+
+def _native_spec(name: str) -> IdiomSpec:
+    """The native Python spec for a built-in idiom (fallback path)."""
+    if name == "for-loop":
+        from .forloop import for_loop_spec
+
+        return for_loop_spec()
+    if name == "scalar-reduction":
+        from .scalar_reduction import scalar_reduction_spec
+
+        return scalar_reduction_spec()
+    if name == "histogram":
+        from .histogram import histogram_spec
+
+        return histogram_spec()
+    raise KeyError(f"no native spec for idiom {name!r}")
+
+
+class IdiomRegistry:
+    """Loads and serves idiom specifications by name."""
+
+    def __init__(self, builtins: bool = True):
+        self._idioms: dict[str, RegisteredIdiom] = {}
+        if builtins:
+            self._load_builtins()
+
+    # -- loading ----------------------------------------------------------
+
+    def _load_builtins(self) -> None:
+        known: dict[str, IdiomSpec] = {}
+        for name in BUILTIN_IDIOMS:
+            path = builtin_spec_path(name)
+            try:
+                spec = load_spec_file(path, known=dict(known))[name]
+                source = path
+            except (OSError, KeyError, SpecFileError):
+                spec = _native_spec(name)
+                source = "native"
+            known[name] = spec
+            self.register(spec, source=source)
+
+    def register(self, spec: IdiomSpec, source: str = "api") -> RegisteredIdiom:
+        """Register (or replace) an idiom spec under its own name.
+
+        A spec replacing a built-in must keep the labels the
+        post-processing stages read (:data:`REQUIRED_LABELS`), so an
+        experimental variant cannot crash detection with a missing
+        assignment key.
+        """
+        kind = spec.name if spec.name in BUILTIN_IDIOMS else "custom"
+        required = REQUIRED_LABELS.get(spec.name, frozenset())
+        missing = required - set(spec.label_order)
+        if missing:
+            raise SpecFileError(
+                f"idiom {spec.name!r} replaces a built-in but does not "
+                f"bind required label(s) {sorted(missing)}"
+            )
+        entry = RegisteredIdiom(spec.name, spec, kind, source)
+        self._idioms[spec.name] = entry
+        return entry
+
+    def load_file(self, path: str) -> list[RegisteredIdiom]:
+        """Load every idiom from a user spec file into the registry.
+
+        Idioms already registered (including built-ins) are visible to
+        the file's ``extends`` clauses, and a file idiom with a
+        built-in's name *replaces* the built-in — that is the
+        experimentation knob §3.4 asks for.
+        """
+        known = {name: entry.spec for name, entry in self._idioms.items()}
+        specs = load_spec_file(path, known=known)
+        if not specs:
+            raise SpecFileError(f"no idioms defined in {path!r}")
+        return [
+            self.register(spec, source=os.path.abspath(path))
+            for spec in specs.values()
+        ]
+
+    # -- lookup -----------------------------------------------------------
+
+    def spec(self, name: str) -> IdiomSpec:
+        """The spec registered under ``name`` (KeyError if absent)."""
+        try:
+            return self._idioms[name].spec
+        except KeyError:
+            raise KeyError(
+                f"unknown idiom {name!r}; registered: {sorted(self._idioms)}"
+            ) from None
+
+    def entry(self, name: str) -> RegisteredIdiom:
+        return self._idioms[name]
+
+    def names(self) -> list[str]:
+        return list(self._idioms)
+
+    def custom(self) -> list[RegisteredIdiom]:
+        """All non-built-in idioms, in registration order."""
+        return [e for e in self._idioms.values() if e.kind == "custom"]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._idioms
+
+    def __iter__(self) -> Iterator[RegisteredIdiom]:
+        return iter(self._idioms.values())
+
+    def __len__(self) -> int:
+        return len(self._idioms)
+
+    def describe(self) -> str:
+        """A human-readable table for ``--list-idioms``."""
+        from ..constraints import compile_spec
+
+        lines = ["registered idioms:"]
+        for entry in self:
+            compiled = compile_spec(entry.spec)
+            source = entry.source
+            if source not in ("native", "api"):
+                source = os.path.basename(source)
+            origin = "custom" if entry.kind == "custom" else "builtin"
+            lines.append(
+                f"  {entry.name:<18} {len(entry.spec.label_order):>2} labels"
+                f"  {len(compiled.conjuncts):>2} constraints"
+                f"  [{origin}, {source}]"
+            )
+        return "\n".join(lines)
+
+
+_default: IdiomRegistry | None = None
+
+
+def default_registry() -> IdiomRegistry:
+    """The process-wide registry, created on first use."""
+    global _default
+    if _default is None:
+        _default = IdiomRegistry()
+    return _default
+
+
+def reset_default_registry() -> None:
+    """Drop the process-wide registry (tests)."""
+    global _default
+    _default = None

@@ -6,6 +6,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..analysis.loops import Loop
+from ..constraints import SolverContext
 from ..ir.block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import LoadInst, PhiInst, StoreInst
@@ -104,6 +105,10 @@ class FunctionReductions:
     function: Function
     scalars: list[ScalarReduction] = field(default_factory=list)
     histograms: list[HistogramReduction] = field(default_factory=list)
+    #: The solver context detection ran with (CFG, dominators, loops,
+    #: SCEV, ...), kept so callers can run further specs — e.g. the
+    #: CLI's custom idioms — without recomputing every analysis.
+    solver_context: SolverContext | None = None
 
 
 @dataclass

@@ -24,14 +24,11 @@ from ..constraints import (
     FlowPolicy,
     IdiomSpec,
     InBlock,
-    Opcode,
     PhiIncomingFromBlock,
     PhiOfTwo,
-    Predicate,
     SolverContext,
 )
-from ..ir.block import BasicBlock
-from ..ir.instructions import Instruction, PhiInst
+from ..constraints.predicates import update_in_loop
 from .forloop import FOR_LOOP_LABEL_ORDER, for_loop_constraint, loop_invariant_in
 
 SCALAR_REDUCTION_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
@@ -39,17 +36,6 @@ SCALAR_REDUCTION_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
     "acc_update",
     "acc_init",
 )
-
-
-def _update_in_loop(ctx: SolverContext, assignment: Assignment) -> bool:
-    """The update must be computed inside the loop (it changes per
-    iteration); the accumulator must not be the iterator's own cycle."""
-    header = assignment["header"]
-    update = assignment["acc_update"]
-    if not isinstance(header, BasicBlock) or not isinstance(update, Instruction):
-        return False
-    loop = ctx.loop_info.loop_with_header(header)
-    return loop is not None and update.parent in loop.blocks
 
 
 def _reduction_policies(ctx: SolverContext, assignment: Assignment):
@@ -89,9 +75,7 @@ def scalar_reduction_constraint() -> ConstraintAnd:
         Distinct("acc", "iterator"),
         Distinct("acc", "acc_update"),
         loop_invariant_in("acc_init", "entry"),
-        Predicate(
-            ("header", "acc_update"), _update_in_loop, name="update-in-loop"
-        ),
+        update_in_loop("header", "acc_update"),
         ComputedOnlyFrom(
             "acc_update",
             "header",

@@ -1,0 +1,146 @@
+"""Tests for the incremental solver core.
+
+The indexed ``partial_check`` path (re-check only conjuncts mentioning
+the newest binding) must accept and reject **exactly** the same partial
+assignments as the naive full-tree walk — same solutions in the same
+order, same ``assignments_tried``, same ``partial_rejections`` — while
+strictly reducing ``constraint_evals``.  Plus property tests that
+:func:`~repro.constraints.solver.suggest_order` (and label reordering
+in general) never changes the solution set.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    SolverContext,
+    SolverStats,
+    compile_spec,
+    detect,
+    suggest_order,
+)
+from repro.frontend import compile_source
+from repro.idioms import (
+    BUILTIN_IDIOMS,
+    for_loop_spec,
+    histogram_spec,
+    scalar_reduction_spec,
+)
+
+from test_differential import CORPUS, NATIVE_SPECS, contexts_for, solution_set
+
+
+@pytest.mark.parametrize("idiom", sorted(NATIVE_SPECS))
+@pytest.mark.parametrize("program", sorted(CORPUS))
+def test_incremental_equals_naive_tree_walk(idiom, program):
+    spec = NATIVE_SPECS[idiom]()
+    for ctx in contexts_for(CORPUS[program]):
+        inc_stats, naive_stats = SolverStats(), SolverStats()
+        incremental = detect(ctx, spec, stats=inc_stats, incremental=True)
+        naive = detect(ctx, spec, stats=naive_stats, incremental=False)
+        # Identical enumeration: same solutions in the same order...
+        assert incremental == naive
+        # ...from identical accept/reject decisions at every depth.
+        assert inc_stats.assignments_tried == naive_stats.assignments_tried
+        assert inc_stats.partial_rejections == naive_stats.partial_rejections
+        assert inc_stats.solutions == naive_stats.solutions
+        assert inc_stats.fallbacks_to_universe == (
+            naive_stats.fallbacks_to_universe
+        )
+        # The index only pays for conjuncts the newest binding affects.
+        assert inc_stats.constraint_evals <= naive_stats.constraint_evals
+        if naive_stats.assignments_tried:
+            assert inc_stats.constraint_evals < naive_stats.constraint_evals
+
+
+def test_compiled_schedule_covers_every_conjunct():
+    """Each conjunct is checked at every depth that binds one of its
+    labels — and at least once (so solutions satisfy all conjuncts)."""
+    for factory in NATIVE_SPECS.values():
+        spec = factory()
+        compiled = compile_spec(spec)
+        scheduled = set()
+        for k, indices in enumerate(compiled.schedule):
+            label = spec.label_order[k]
+            for i in indices:
+                assert label in compiled.labelsets[i]
+            scheduled.update(indices)
+        assert scheduled == set(range(len(compiled.conjuncts)))
+
+
+def test_proposal_memoization_hits_on_repeated_lookups():
+    module = compile_source(
+        """
+        double a[64]; int n;
+        double f(void) {
+            double s = 0.0; double t = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            for (int j = 0; j < n; j++) t = t + a[j+1];
+            return s + t;
+        }
+        """
+    )
+    ctx = SolverContext(module.get_function("f"), module)
+    stats = SolverStats()
+    solutions = detect(ctx, scalar_reduction_spec(), stats=stats)
+    assert len(solutions) == 2
+    assert stats.proposal_cache_hits > 0
+
+
+@pytest.mark.parametrize("idiom", sorted(NATIVE_SPECS))
+def test_suggest_order_is_a_permutation(idiom):
+    spec = NATIVE_SPECS[idiom]()
+    order = suggest_order(spec)
+    assert sorted(order) == sorted(spec.label_order)
+
+
+@pytest.mark.parametrize("idiom", sorted(NATIVE_SPECS))
+@pytest.mark.parametrize("program", sorted(CORPUS))
+def test_suggest_order_preserves_solution_set(idiom, program):
+    spec = NATIVE_SPECS[idiom]()
+    reordered = spec.reordered(suggest_order(spec))
+    for ctx in contexts_for(CORPUS[program]):
+        assert solution_set(
+            detect(ctx, spec), spec.label_order
+        ) == solution_set(detect(ctx, reordered), spec.label_order)
+
+
+def test_suggest_order_starts_proposable():
+    """The heuristic must not open with a universe-fallback label."""
+    spec = for_loop_spec()
+    ctx = contexts_for(CORPUS["scalar-sum"])[0]
+    order = suggest_order(spec)
+    stats = SolverStats()
+    detect(ctx, spec.reordered(order), stats=stats)
+    # Binding the first suggested label never falls back to enumerating
+    # the whole universe: some conjunct proposes it from nothing.
+    first = order[0]
+    assert stats.candidates_per_label.get(first, 0) < len(ctx.universe)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_any_label_order_preserves_solution_set(data):
+    """§3.3: enumeration order affects effort, never the solution set.
+
+    Random permutations subsume ``suggest_order`` — the solver must be
+    order-independent for the heuristic to be free to pick anything.
+    """
+    spec = for_loop_spec()
+    order = tuple(
+        data.draw(st.permutations(list(spec.label_order)), label="order")
+    )
+    module = compile_source(CORPUS["scalar-sum"])
+    ctx = SolverContext(module.get_function("f"), module)
+    baseline = solution_set(detect(ctx, spec), spec.label_order)
+    permuted = solution_set(
+        detect(ctx, spec.reordered(order)), spec.label_order
+    )
+    assert permuted == baseline
+
+
+def test_builtin_coverage_matches_registry():
+    assert set(NATIVE_SPECS) == set(BUILTIN_IDIOMS)
+    assert {s().name for s in (for_loop_spec, scalar_reduction_spec,
+                               histogram_spec)} == set(BUILTIN_IDIOMS)

@@ -62,6 +62,58 @@ def test_parallelize_command(source_file, capsys):
     assert "outputs match" in out
 
 
+def test_detect_list_idioms_without_file(capsys):
+    assert main(["detect", "--list-idioms"]) == 0
+    out = capsys.readouterr().out
+    assert "registered idioms:" in out
+    for name in ("for-loop", "scalar-reduction", "histogram"):
+        assert name in out
+    assert "forloop.icsl" in out
+
+
+def test_detect_without_file_or_list_flag_errors(capsys):
+    assert main(["detect"]) == 2
+    assert "FILE.c" in capsys.readouterr().err
+
+
+def test_detect_with_user_spec_file(source_file, tmp_path, capsys):
+    spec = tmp_path / "rmw.icsl"
+    spec.write_text(
+        "idiom read-modify-write {\n"
+        "  order: st v p\n"
+        "  opcode(st, store, v, p)\n"
+        "  (opcode(v, add, _, _) | opcode(v, fadd, _, _))\n"
+        "}\n"
+    )
+    assert main(["detect", source_file, "--spec", str(spec),
+                 "--list-idioms"]) == 0
+    out = capsys.readouterr().out
+    assert "read-modify-write" in out
+    assert "custom" in out
+    assert "match(es)" in out
+
+
+def test_detect_reports_malformed_spec_file(source_file, tmp_path, capsys):
+    bad = tmp_path / "bad.icsl"
+    bad.write_text("idiom broken {\n  order: x\n  frobnicate(x)\n}\n")
+    assert main(["detect", source_file, "--spec", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot load spec file" in err
+    assert "line 3" in err
+
+
+def test_detect_reports_missing_spec_file(source_file, capsys):
+    assert main(["detect", source_file, "--spec", "/nonexistent.icsl"]) == 2
+    assert "cannot load spec file" in capsys.readouterr().err
+
+
+def test_detect_reports_binary_spec_file(source_file, tmp_path, capsys):
+    binary = tmp_path / "binary.icsl"
+    binary.write_bytes(b"\xff\xfe\x00garbage")
+    assert main(["detect", source_file, "--spec", str(binary)]) == 2
+    assert "cannot load spec file" in capsys.readouterr().err
+
+
 def test_parallelize_reports_nothing_to_do(tmp_path, capsys):
     path = tmp_path / "empty.c"
     path.write_text("int main(void) { print_int(1); return 0; }")
