@@ -157,6 +157,20 @@ def test_incremental_solver_ablation():
                  f"{stats.constraint_evals / max(1, stats.solutions):.0f}",
                  stats.proposal_cache_hits, "-"])
 
+    # Cost-aware ordering: per-function SolverStats feedback (observed
+    # candidate counts) refines the static heuristic — same solutions,
+    # effort recorded for the comparison.
+    cost_aware = spec.reordered(suggest_order(spec, feedback=stats))
+    aware_stats = SolverStats()
+    aware_solutions = detect(ctx, cost_aware, stats=aware_stats)
+    assert {id(s["header"]) for s in aware_solutions} == {
+        id(s["header"]) for s in solutions
+    }
+    rows.append(["mri-q / suggest_order+feedback", len(aware_solutions),
+                 aware_stats.constraint_evals,
+                 f"{aware_stats.constraint_evals / max(1, aware_stats.solutions):.0f}",
+                 aware_stats.proposal_cache_hits, "-"])
+
     text = table(
         ["configuration", "solutions", "constraint evals",
          "evals/solution", "proposal cache hits", "time"],

@@ -15,7 +15,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-general-reductions",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Constraint-based discovery and exploitation of general "
         "reductions (CGO 2017 reproduction)"

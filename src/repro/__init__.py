@@ -19,6 +19,8 @@ The package provides the full stack the paper builds on:
   privatization, loop outlining and the simulated 64-core executor;
 * :mod:`repro.baselines` — Polly+reductions and icc comparison models;
 * :mod:`repro.workloads` — the 40-program NAS/Parboil/Rodinia corpus;
+* :mod:`repro.pipeline` — the corpus-scale detection pipeline
+  (sharded workers, shared solver caches, deterministic merge);
 * :mod:`repro.evaluation` — one harness per table/figure of §6.
 
 Quickstart::
@@ -44,10 +46,12 @@ from .idioms import (
     HistogramReduction,
     ReductionOp,
     ScalarReduction,
+    find_extended_reductions,
     find_for_loops,
     find_reductions,
     find_reductions_in_function,
 )
+from .pipeline import detect_corpus
 from .runtime import Interpreter, MachineModel, Memory, ParallelExecutor
 from .transform import (
     OutlinedTask,
@@ -63,7 +67,9 @@ __all__ = [
     "compile_source",
     "find_reductions",
     "find_reductions_in_function",
+    "find_extended_reductions",
     "find_for_loops",
+    "detect_corpus",
     "DetectionReport",
     "ScalarReduction",
     "HistogramReduction",

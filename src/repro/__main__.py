@@ -5,9 +5,10 @@ Commands
 
 ``detect FILE.c``
     Compile a mini-C file and report every detected reduction (plus the
-    icc/Polly baseline verdicts with ``--baselines``).  ``--spec`` adds
-    user ``.icsl`` idiom files (custom idioms are matched and counted;
-    a file idiom named like a built-in replaces it), ``--list-idioms``
+    icc/Polly baseline verdicts with ``--baselines`` and the §8
+    extension idioms with ``--extended``).  ``--spec`` adds user
+    ``.icsl`` idiom files (custom idioms are matched and counted; a
+    file idiom named like a built-in replaces it), ``--list-idioms``
     prints the registry.
 
 ``emit FILE.c``
@@ -18,8 +19,11 @@ Commands
     simulated multicore machine; reports the simulated speedup.
 
 ``corpus``
-    Run detection over the built-in 40-program corpus and print the
-    Figure 8 panels.
+    Run detection over the built-in 40-program corpus through the
+    batched pipeline and print the Figure 8 panels.  ``--jobs N``
+    shards programs across N worker processes (the merged report is
+    identical to the serial one); ``--extended`` also runs the §8
+    extension idioms.
 """
 
 from __future__ import annotations
@@ -76,6 +80,21 @@ def _cmd_detect(args) -> int:
         checks = "; ".join(c.describe() for c in histogram.runtime_checks)
         print(f"  histogram {histogram.name}  op={histogram.op.value}  "
               f"({kind} index)  checks [{checks}]")
+    if args.extended:
+        from .idioms import find_extended_in_function
+
+        for function_reductions in report.functions:
+            extensions = find_extended_in_function(
+                function_reductions.function, module, registry=registry,
+                ctx=function_reductions.solver_context,
+            )
+            for dot in extensions.dot_products:
+                print(f"  extension dot-product {dot.name}")
+            for match in extensions.argminmax:
+                print(f"  extension argminmax {match.name}")
+            for nested in extensions.nested_array:
+                print(f"  extension nested-array-reduction {nested.name}"
+                      f"  op={nested.op.value}")
     custom = registry.custom()
     if custom:
         # Reuse the analyses detection already computed per function.
@@ -145,13 +164,29 @@ def _cmd_parallelize(args) -> int:
 
 
 def _cmd_corpus(args) -> int:
-    from .evaluation.discovery import run_all_discovery, summary_against_paper
+    from .evaluation.discovery import run_discovery, summary_against_paper
+    from .pipeline import detect_corpus
 
-    results = run_all_discovery()
+    # One pipeline run feeds both the Figure 8 panels and the
+    # extension listing.
+    report = detect_corpus(jobs=args.jobs, baselines=True,
+                           extended=args.extended)
+    results = {
+        name: run_discovery(name, report=report)
+        for name in ("NAS", "Parboil", "Rodinia")
+    }
     for result in results.values():
         print(result.render())
         print()
     print(summary_against_paper(results))
+    if args.extended:
+        print()
+        print(f"extension idioms: {report.summary()}")
+        for program in report.programs:
+            for match in program.extended:
+                detail = f"  [{match.detail}]" if match.detail else ""
+                print(f"  {program.suite}/{program.name}  "
+                      f"{match.idiom}  {match.name}{detail}")
     return 0
 
 
@@ -167,6 +202,8 @@ def main(argv: list[str] | None = None) -> int:
     detect_cmd.add_argument("file", nargs="?", default=None)
     detect_cmd.add_argument("--baselines", action="store_true",
                             help="also run the icc/Polly models")
+    detect_cmd.add_argument("--extended", action="store_true",
+                            help="also run the extension idioms")
     detect_cmd.add_argument("--spec", action="append", metavar="FILE.icsl",
                             help="load extra idiom spec file(s)")
     detect_cmd.add_argument("--list-idioms", action="store_true",
@@ -186,6 +223,10 @@ def main(argv: list[str] | None = None) -> int:
 
     corpus_cmd = commands.add_parser("corpus",
                                      help="Figure 8 over the corpus")
+    corpus_cmd.add_argument("--jobs", type=int, default=1,
+                            help="worker processes for the pipeline")
+    corpus_cmd.add_argument("--extended", action="store_true",
+                            help="also run the extension idioms")
     corpus_cmd.set_defaults(fn=_cmd_corpus)
 
     args = parser.parse_args(argv)

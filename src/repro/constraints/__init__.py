@@ -40,6 +40,7 @@ from .logical import ConstraintAnd, ConstraintOr
 from .predicates import PREDICATE_ATOMS, register_predicate_atom
 from .solver import (
     CompiledSpec,
+    SharedSolverCache,
     SolverStats,
     compile_spec,
     detect,
@@ -91,6 +92,7 @@ __all__ = [
     "detect",
     "detect_brute_force",
     "SolverStats",
+    "SharedSolverCache",
     "CompiledSpec",
     "compile_spec",
     "suggest_order",

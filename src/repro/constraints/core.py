@@ -61,6 +61,23 @@ class SolverContext:
             self._by_opcode.setdefault(instruction.opcode, []).append(
                 instruction
             )
+        self._solver_cache = None
+
+    @property
+    def solver_cache(self):
+        """The search state shared by every spec run on this context.
+
+        Holds memoized proposals (keyed by conjunct identity, so specs
+        sharing conjunct objects — e.g. the ``extends for-loop`` family
+        — hit each other's entries) and solved base-spec prefixes.
+        Created lazily; see :class:`~repro.constraints.solver.
+        SharedSolverCache`.
+        """
+        if self._solver_cache is None:
+            from .solver import SharedSolverCache
+
+            self._solver_cache = SharedSolverCache()
+        return self._solver_cache
 
     def instructions_with_opcode(self, opcode: str) -> list[Instruction]:
         """All instructions of the function with the given opcode."""
@@ -139,7 +156,7 @@ class IdiomSpec:
     """
 
     def __init__(self, name: str, label_order: tuple[str, ...],
-                 constraint: Constraint):
+                 constraint: Constraint, base: "IdiomSpec | None" = None):
         self.name = name
         self.label_order = tuple(label_order)
         self.constraint = constraint
@@ -148,10 +165,24 @@ class IdiomSpec:
             raise ValueError(
                 f"spec {name!r}: labels {sorted(missing)} missing from order"
             )
+        #: The spec this one extends (``extends`` in ICSL).  When the
+        #: extension's label order starts with the base's and the base's
+        #: conjunct objects are reused verbatim, the solver can replay
+        #: the base's solved prefix instead of re-enumerating it (see
+        #: :class:`~repro.constraints.solver.SharedSolverCache`).
+        self.base = base if base is not None and self._extends(base) else None
+
+    def _extends(self, base: "IdiomSpec") -> bool:
+        """Whether this spec's enumeration order starts with ``base``'s."""
+        n = len(base.label_order)
+        return (
+            len(self.label_order) > n and self.label_order[:n] == base.label_order
+        )
 
     def reordered(self, label_order: tuple[str, ...]) -> "IdiomSpec":
         """The same spec with a different enumeration order (ablation)."""
-        return IdiomSpec(self.name, label_order, self.constraint)
+        return IdiomSpec(self.name, label_order, self.constraint,
+                         base=self.base)
 
 
 def constraint_labels(constraint: Constraint) -> set[str]:

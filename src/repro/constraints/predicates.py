@@ -22,7 +22,15 @@ from __future__ import annotations
 from typing import Callable
 
 from ..ir.block import BasicBlock
-from ..ir.instructions import Instruction, LoadInst, StoreInst
+from ..ir.instructions import (
+    FCmpInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from ..ir.values import Value
 from .atomic import Predicate
 
 #: name -> factory(*label_names) -> Predicate
@@ -119,3 +127,121 @@ def load_before_store(load: str, store: str) -> Predicate:
         return block.instructions.index(ld) < block.instructions.index(st)
 
     return _named("load_before_store", (load, store), fn)
+
+
+# -- extension-idiom predicates (§8 future work) ------------------------------
+
+#: Comparison predicates establishing an ordering (min/max tracking).
+ORDERING_PREDICATES = frozenset(
+    {"olt", "ogt", "slt", "sgt", "ole", "oge", "sle", "sge"}
+)
+
+
+@register_predicate_atom("ordering_cmp")
+def ordering_cmp(cmp: str) -> Predicate:
+    """``cmp`` is a comparison that establishes an ordering (one of the
+    less/greater predicates — equality tests track no best value)."""
+
+    def fn(ctx, assignment):
+        value = assignment[cmp]
+        if isinstance(value, (FCmpInst, ICmpInst)):
+            return value.predicate in ORDERING_PREDICATES
+        return False
+
+    return _named("ordering_cmp", (cmp,), fn)
+
+
+@register_predicate_atom("same_join")
+def same_join(a: str, b: str) -> Predicate:
+    """``a`` and ``b`` are PHIs in the same join block — the pair of
+    selections one guard produces (argmin/argmax's value and index)."""
+
+    def fn(ctx, assignment):
+        first = assignment[a]
+        second = assignment[b]
+        return (
+            isinstance(first, PhiInst)
+            and isinstance(second, PhiInst)
+            and first.parent is second.parent
+        )
+
+    return _named("same_join", (a, b), fn)
+
+
+def structurally_equal(a: Value, b: Value, depth: int = 0) -> bool:
+    """Value equivalence modulo cross-block redundancy.
+
+    The frontend only CSEs within blocks, so a guard's ``a[i]`` load
+    and the assigned ``a[i]`` load are distinct instructions; they are
+    still the same value because the loads read the same address with
+    no intervening store (the idiom's flow conditions guarantee the
+    array is read-only in the loop).
+    """
+    if a is b:
+        return True
+    if depth > 6:
+        return False
+    from ..ir.instructions import BinaryInst, CastInst, GEPInst
+    from ..ir.values import ConstantFloat, ConstantInt
+
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.value == b.value
+    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
+        return a.value == b.value
+    if isinstance(a, LoadInst) and isinstance(b, LoadInst):
+        return structurally_equal(a.pointer, b.pointer, depth + 1)
+    if isinstance(a, GEPInst) and isinstance(b, GEPInst):
+        return a.base is b.base and structurally_equal(
+            a.index, b.index, depth + 1
+        )
+    if isinstance(a, BinaryInst) and isinstance(b, BinaryInst):
+        return a.opcode == b.opcode and structurally_equal(
+            a.lhs, b.lhs, depth + 1
+        ) and structurally_equal(a.rhs, b.rhs, depth + 1)
+    if isinstance(a, CastInst) and isinstance(b, CastInst):
+        return a.opcode == b.opcode and structurally_equal(
+            a.value, b.value, depth + 1
+        )
+    return False
+
+
+@register_predicate_atom("guard_matches_candidate")
+def guard_matches_candidate(cmp: str, best: str, candidate: str) -> Predicate:
+    """The guard compares (a value structurally equal to) ``candidate``
+    against the tracked ``best`` value."""
+
+    def fn(ctx, assignment):
+        guard = assignment[cmp]
+        tracked = assignment[best]
+        wanted = assignment[candidate]
+        if not isinstance(guard, (FCmpInst, ICmpInst)):
+            return False
+        if guard.lhs is tracked:
+            other = guard.rhs
+        elif guard.rhs is tracked:
+            other = guard.lhs
+        else:
+            return False
+        return structurally_equal(other, wanted)
+
+    return _named("guard_matches_candidate", (cmp, best, candidate), fn)
+
+
+@register_predicate_atom("store_in_subloop")
+def store_in_subloop(header: str, store: str) -> Predicate:
+    """``store`` sits in a loop *strictly inside* the loop headed by
+    ``header`` — the complement of :func:`store_directly_in_loop`, so
+    the nested-array-reduction idiom never double-reports a regular
+    histogram."""
+
+    def fn(ctx, assignment):
+        head = assignment[header]
+        st = assignment[store]
+        if not isinstance(head, BasicBlock) or not isinstance(st, StoreInst):
+            return False
+        loop = ctx.loop_info.loop_with_header(head)
+        if loop is None or st.parent not in loop.blocks:
+            return False
+        return ctx.loop_info.innermost_loop_of(st.parent) is not loop
+
+    return _named("store_in_subloop", (header, store), fn)

@@ -24,10 +24,25 @@ for differential testing, and both paths count conjunct evaluations in
 :attr:`SolverStats.constraint_evals` (the CoreDiag-flavored metric: how
 much redundant constraint evaluation was eliminated).
 
+Search state is shared **across** ``detect`` calls on one
+:class:`~repro.constraints.core.SolverContext` through
+:class:`SharedSolverCache`: proposal lookups are memoized by conjunct
+*identity* (the ``extends for-loop`` family reuses the same conjunct
+objects, so the scalar and histogram specs hit each other's entries),
+and a spec with a :attr:`~repro.constraints.core.IdiomSpec.base` replays
+the base's solved prefix tuples instead of re-enumerating the shared
+for-loop search space — the Bailleux & Boufkhad view of the extension
+idioms as *constraint reductions* of one for-loop formulation.  Passing
+``cache=SharedSolverCache()`` restores fully per-call state (the PR-1
+engine), which the differential tests and the pipeline benchmark use as
+the comparison baseline.
+
 :func:`detect_brute_force` is the exponential §3.2 strawman, kept for
 differential testing and for the ablation benchmark.
 :func:`suggest_order` is an automatic label-order heuristic scored by
-proposability, for specs whose author did not curate an order.
+proposability, for specs whose author did not curate an order; given a
+:class:`SolverStats` from a previous run it additionally weighs the
+*observed* per-label candidate counts (cost-aware ordering).
 """
 
 from __future__ import annotations
@@ -52,8 +67,51 @@ class SolverStats:
     #: Top-level conjunct ``partial_check`` evaluations — the redundant
     #: work the incremental index eliminates.
     constraint_evals: int = 0
-    #: Proposal lookups answered from the per-search memo table.
+    #: Proposal lookups answered from the (shared) memo table.
     proposal_cache_hits: int = 0
+    #: Searches that replayed a base spec's solved prefix instead of
+    #: re-enumerating it.
+    prefix_reuses: int = 0
+
+
+class SharedSolverCache:
+    """Search state hoisted out of individual ``detect`` calls.
+
+    One instance lives on each :class:`~repro.constraints.core.
+    SolverContext` (``ctx.solver_cache``); every spec run on that
+    context shares it.  It holds
+
+    * ``proposal_memo`` — conjunct proposal lookups, keyed by the
+      conjunct's identity plus the bindings of its own labels.  Conjunct
+      objects shared between specs (the ``extends`` family) therefore
+      share entries across detects;
+    * ``base_solutions`` — complete solution lists of base specs, keyed
+      by spec identity.  An extending spec replays these as its solved
+      prefix (see :meth:`CompiledSpec.prefix_plan`); the scalar and
+      histogram idioms both extend ``for-loop``, so its search runs
+      once per context instead of once per spec.
+    """
+
+    def __init__(self) -> None:
+        #: Keys hold the conjunct/spec *objects* themselves (constraints
+        #: hash by identity), which both addresses them by identity and
+        #: pins them against garbage collection — a recycled ``id()``
+        #: can therefore never alias a stale entry.
+        self.proposal_memo: dict = {}
+        self.base_solutions: dict[IdiomSpec, list[dict[str, Value]]] = {}
+
+    def solutions_for(self, spec: IdiomSpec):
+        """Cached full solution list for ``spec``, or None."""
+        return self.base_solutions.get(spec)
+
+    def store_solutions(self, spec: IdiomSpec, solutions) -> None:
+        """Record the complete solution list of ``spec``."""
+        self.base_solutions[spec] = solutions
+
+    def clear(self) -> None:
+        """Drop all shared search state (frees the pinned objects)."""
+        self.proposal_memo.clear()
+        self.base_solutions.clear()
 
 
 class CompiledSpec:
@@ -64,7 +122,13 @@ class CompiledSpec:
     * ``schedule[k]`` — indices of the conjuncts that mention the label
       bound at depth ``k`` and therefore must be (re-)checked there;
     * ``proposers[label]`` — indices of the conjuncts that mention
-      ``label`` and may propose candidates for it.
+      ``label`` and may propose candidates for it;
+    * ``prefix_len`` / ``replay_indices`` — when the spec has a
+      :attr:`~repro.constraints.core.IdiomSpec.base` whose conjunct
+      objects it reuses verbatim, the base's label count and the
+      indices of the *extension* conjuncts that touch base labels (the
+      ones that must be re-validated when a solved base prefix is
+      replayed).
     """
 
     def __init__(self, spec: IdiomSpec):
@@ -96,6 +160,38 @@ class CompiledSpec:
         self.can_propose: list[bool] = [
             type(c).propose is not Constraint.propose for c in self.conjuncts
         ]
+        self._compile_prefix()
+
+    def _compile_prefix(self) -> None:
+        """Validate and index the shared base prefix, if any.
+
+        Prefix replay is only sound when the base's conjunct *objects*
+        appear verbatim among this spec's conjuncts (ICSL ``extends``
+        guarantees that: base conjuncts are prepended by reference), so
+        a base solution is known to satisfy them exactly.
+        """
+        self.prefix_len = 0
+        self.replay_indices: tuple[int, ...] = ()
+        base = self.spec.base
+        if base is None:
+            return
+        base_root = base.constraint
+        base_conjuncts = (
+            list(base_root.children)
+            if isinstance(base_root, ConstraintAnd)
+            else [base_root]
+        )
+        own_ids = {id(c) for c in self.conjuncts}
+        if any(id(c) not in own_ids for c in base_conjuncts):
+            return  # conjuncts were rebuilt, not shared: cannot replay
+        base_ids = {id(c) for c in base_conjuncts}
+        prefix_set = frozenset(base.label_order)
+        self.prefix_len = len(base.label_order)
+        self.replay_indices = tuple(
+            i
+            for i, c in enumerate(self.conjuncts)
+            if id(c) not in base_ids and (self.labelsets[i] & prefix_set)
+        )
 
     def propose(
         self,
@@ -107,15 +203,21 @@ class CompiledSpec:
     ) -> list[Value] | None:
         """Candidates for ``label``; mirrors ``ConstraintAnd.propose``
         (intersection, ordered by the smallest proposal) with proposal
-        lookups memoized per search.
+        lookups memoized in the shared cache.
 
         A conjunct's proposal only depends on the bindings of its own
-        labels, so the memo key is the conjunct plus that restriction.
+        labels, so the memo key is the conjunct's identity plus that
+        restriction — shared conjunct objects hit across specs.
         """
         proposals: list[list[Value]] = []
         for i in self.proposers.get(label, ()):
+            conjunct = self.conjuncts[i]
+            # The conjunct object itself is part of the key: identity
+            # addressing that also pins it alive in the shared cache
+            # (value ids are stable — the context keeps the function's
+            # values alive for the cache's whole lifetime).
             key = (
-                i,
+                conjunct,
                 label,
                 tuple(
                     (l, id(assignment[l]))
@@ -127,7 +229,7 @@ class CompiledSpec:
                 candidates = memo[key]
                 stats.proposal_cache_hits += 1
             except KeyError:
-                candidates = self.conjuncts[i].propose(ctx, assignment, label)
+                candidates = conjunct.propose(ctx, assignment, label)
                 if candidates is not None:
                     candidates = list(candidates)
                 memo[key] = candidates
@@ -153,6 +255,7 @@ def detect(
     stats: SolverStats | None = None,
     limit: int | None = None,
     incremental: bool = True,
+    cache: SharedSolverCache | None = None,
 ) -> list[dict[str, Value]]:
     """All assignments satisfying ``spec`` in ``ctx``'s function.
 
@@ -161,6 +264,11 @@ def detect(
     indexed path checks only conjuncts affected by the newest binding.
     Both accept/reject exactly the same partial assignments and return
     solutions in the same order.
+
+    ``cache`` defaults to ``ctx.solver_cache`` — the per-context shared
+    state (memoized proposals, solved base prefixes).  Pass a fresh
+    :class:`SharedSolverCache` for fully per-call state (the PR-1
+    engine; used by differential tests and the pipeline benchmark).
     """
     compiled = compile_spec(spec)
     order = spec.label_order
@@ -168,7 +276,8 @@ def detect(
     results: list[dict[str, Value]] = []
     assignment: dict[str, Value] = {}
     stats = stats if stats is not None else SolverStats()
-    memo: dict = {}
+    cache = cache if cache is not None else ctx.solver_cache
+    memo = cache.proposal_memo
     all_indices = tuple(range(len(conjuncts)))
 
     def partial_ok(k: int) -> bool:
@@ -206,8 +315,76 @@ def detect(
         assignment.pop(label, None)
         return True
 
-    recurse(0)
+    prefix = _base_prefix_solutions(
+        ctx, spec, compiled, stats, cache, incremental, limit
+    )
+    if prefix is None:
+        recurse(0)
+    else:
+        stats.prefix_reuses += 1
+        k = compiled.prefix_len
+        for base_solution in prefix:
+            if limit is not None and len(results) >= limit:
+                break
+            assignment.clear()
+            assignment.update(base_solution)
+            # Re-validate the extension conjuncts that touch base
+            # labels — the base search never saw them.  (The base's own
+            # conjuncts hold exactly: a base solution satisfies them by
+            # construction, which is what makes the replay sound.)
+            ok = True
+            for i in compiled.replay_indices:
+                stats.constraint_evals += 1
+                if not conjuncts[i].partial_check(ctx, assignment):
+                    stats.partial_rejections += 1
+                    ok = False
+                    break
+            if ok:
+                recurse(k)
+        assignment.clear()
     return results
+
+
+def _base_prefix_solutions(
+    ctx: SolverContext,
+    spec: IdiomSpec,
+    compiled: CompiledSpec,
+    stats: SolverStats,
+    cache: SharedSolverCache,
+    incremental: bool,
+    limit: int | None,
+):
+    """Solved base-prefix tuples for an extending spec, or None.
+
+    The base's solution list is computed at most once per cache (the
+    first extending spec pays; later specs replay for free) by a nested
+    :func:`detect` whose search effort is charged to the caller's
+    ``stats``.  A ``limit``-bounded search never *computes* the base
+    (full base enumeration could dwarf the bounded search it serves) —
+    it only replays a list some unbounded search already paid for.
+    """
+    if not incremental or compiled.prefix_len == 0:
+        return None
+    base = spec.base
+    solutions = cache.solutions_for(base)
+    if solutions is None:
+        if limit is not None:
+            return None
+        base_stats = SolverStats()
+        solutions = detect(ctx, base, stats=base_stats, cache=cache)
+        cache.store_solutions(base, solutions)
+        # Charge the base search's effort — but not its solution count —
+        # to the caller: the prefix work happened on this detect's dime.
+        stats.assignments_tried += base_stats.assignments_tried
+        stats.partial_rejections += base_stats.partial_rejections
+        stats.fallbacks_to_universe += base_stats.fallbacks_to_universe
+        stats.constraint_evals += base_stats.constraint_evals
+        stats.proposal_cache_hits += base_stats.proposal_cache_hits
+        for label, count in base_stats.candidates_per_label.items():
+            stats.candidates_per_label[label] = (
+                stats.candidates_per_label.get(label, 0) + count
+            )
+    return solutions
 
 
 def detect_brute_force(
@@ -227,7 +404,9 @@ def detect_brute_force(
     return results
 
 
-def suggest_order(spec: IdiomSpec) -> tuple[str, ...]:
+def suggest_order(
+    spec: IdiomSpec, feedback: SolverStats | None = None
+) -> tuple[str, ...]:
     """An automatic enumeration order scored by proposability (§3.3).
 
     Greedy: repeatedly pick the label with the best chance of being
@@ -237,10 +416,20 @@ def suggest_order(spec: IdiomSpec) -> tuple[str, ...]:
     and ties fall back to the curated order for determinism.  The
     result is a permutation of ``spec.label_order``, so solutions are
     unchanged by construction (and by test).
+
+    ``feedback`` switches on **cost-aware** ordering: given the
+    :class:`SolverStats` of a previous run of this spec (on a
+    representative function), labels whose *observed* candidate lists
+    were small are preferred within the same proposability tier — the
+    runtime proposal count, not just the static proposability score,
+    decides the order.  With ``feedback=None`` the static heuristic is
+    unchanged.
     """
     compiled = compile_spec(spec)
     original = spec.label_order
     position = {label: i for i, label in enumerate(original)}
+    observed = dict(feedback.candidates_per_label) if feedback else {}
+    max_observed = max(observed.values(), default=0)
     placed: list[str] = []
     placed_set: set[str] = set()
 
@@ -259,10 +448,23 @@ def suggest_order(spec: IdiomSpec) -> tuple[str, ...]:
             best = max(best, value)
         return best
 
+    def observed_cost(label: str) -> float:
+        """Observed candidate volume, normalized to [0, 1].
+
+        Labels the previous run never reached (pruned away) count as
+        free; with no feedback every label costs the same and the
+        static order decides.
+        """
+        if not max_observed:
+            return 0.0
+        return observed.get(label, 0) / max_observed
+
     while len(placed) < len(original):
         best_label = min(
             (label for label in original if label not in placed_set),
-            key=lambda label: (-score(label), position[label]),
+            key=lambda label: (
+                -score(label), observed_cost(label), position[label]
+            ),
         )
         placed.append(best_label)
         placed_set.add(best_label)

@@ -105,11 +105,16 @@ class SpecFileError(Exception):
         self.line = line
 
 
-#: The spec files shipped inside the package, in dependency order.
+#: The spec files shipped inside the package, in dependency order:
+#: the three Fig. 5/§3.1 core idioms first, then the §8 extension
+#: idioms (all extend ``for-loop``, so it must load first).
 BUILTIN_SPEC_FILES: dict[str, str] = {
     "for-loop": "forloop.icsl",
     "scalar-reduction": "scalar_reduction.icsl",
     "histogram": "histogram.icsl",
+    "dot-product": "dot_product.icsl",
+    "argminmax": "argminmax.icsl",
+    "nested-array-reduction": "nested_reduction.icsl",
 }
 
 
@@ -351,12 +356,12 @@ _IDIOM_HEADER_RE = re.compile(
 )
 
 
-def _base_conjuncts(
+def _resolve_base(
     base_name: str,
     specs: dict[str, IdiomSpec],
     known: dict[str, IdiomSpec],
     loading: frozenset[str],
-) -> list[Constraint]:
+) -> IdiomSpec:
     base = specs.get(base_name) or known.get(base_name)
     if base is None and base_name in BUILTIN_SPEC_FILES:
         if base_name in loading:
@@ -371,6 +376,10 @@ def _base_conjuncts(
         raise SpecFileError(
             f"extends references unknown idiom {base_name!r}"
         )
+    return base
+
+
+def _base_conjuncts(base: IdiomSpec) -> list[Constraint]:
     root = base.constraint
     if isinstance(root, ConstraintAnd):
         return list(root.children)
@@ -394,6 +403,7 @@ def parse_spec_text(
     block_start = 0
     order: tuple[str, ...] | None = None
     constraints: list[Constraint] = []
+    current_base: IdiomSpec | None = None
 
     def error(lineno: int, message: str) -> None:
         raise SpecFileError(f"line {lineno}: {message}", line=lineno)
@@ -410,12 +420,14 @@ def parse_spec_text(
             block_start = lineno
             order = None
             constraints = []
+            current_base = None
             base_name = header.group("base")
             if base_name is not None:
                 try:
-                    constraints.extend(
-                        _base_conjuncts(base_name, specs, known, _loading)
+                    current_base = _resolve_base(
+                        base_name, specs, known, _loading
                     )
+                    constraints.extend(_base_conjuncts(current_base))
                 except SpecFileError as exc:
                     if exc.line is None:
                         error(lineno, str(exc))
@@ -430,7 +442,8 @@ def parse_spec_text(
                 error(lineno, f"idiom {current_name!r} has no constraints")
             try:
                 specs[current_name] = IdiomSpec(
-                    current_name, order, ConstraintAnd(*constraints)
+                    current_name, order, ConstraintAnd(*constraints),
+                    base=current_base,
                 )
             except ValueError as exc:
                 error(lineno, str(exc))

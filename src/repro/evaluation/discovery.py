@@ -3,14 +3,19 @@
 For every program of a suite, runs our constraint-based detector plus
 the icc and Polly baseline models, and reports the per-benchmark counts
 that Figure 8 plots, together with the §6.1 totals.
+
+Detection runs through the corpus pipeline
+(:func:`repro.pipeline.detect_corpus`): one batched run over the
+requested suites — sharded across processes when ``jobs > 1`` — whose
+deterministically merged digests feed the panels, so the paper driver
+and the production path cannot drift.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..baselines import icc, polly
-from ..idioms import find_reductions
+from ..pipeline import CorpusReport, detect_corpus
 from ..workloads import suite
 from . import paper
 from .render import table
@@ -63,15 +68,27 @@ class DiscoveryResult:
         )
 
 
-def run_discovery(suite_name: str) -> DiscoveryResult:
-    """Reproduce one panel of Figure 8."""
+def run_discovery(
+    suite_name: str,
+    jobs: int = 1,
+    report: CorpusReport | None = None,
+) -> DiscoveryResult:
+    """Reproduce one panel of Figure 8.
+
+    ``report`` reuses an existing pipeline run (``run_all_discovery``
+    shares one batched run across all three panels); otherwise the
+    pipeline runs here, sharded over ``jobs`` worker processes.
+    """
+    if report is None:
+        report = detect_corpus(
+            jobs=jobs, baselines=True, suites=(suite_name,)
+        )
     result = DiscoveryResult(suite_name)
     for program in suite(suite_name):
-        module = program.compile()
-        report = find_reductions(module)
-        scalars, histograms = report.counts()
-        icc_count = icc.detected_reduction_count(module)
-        polly_count = len(polly.analyze_module(module).reductions)
+        digest = report.program(program.name, program.suite)
+        scalars, histograms = digest.counts()
+        icc_count = digest.icc
+        polly_count = digest.polly_reductions
         expectation = program.expectation
         result.rows.append(
             DiscoveryRow(
@@ -91,10 +108,13 @@ def run_discovery(suite_name: str) -> DiscoveryResult:
     return result
 
 
-def run_all_discovery() -> dict[str, DiscoveryResult]:
-    """All three Figure 8 panels."""
-    return {name: run_discovery(name) for name in
-            ("NAS", "Parboil", "Rodinia")}
+def run_all_discovery(jobs: int = 1) -> dict[str, DiscoveryResult]:
+    """All three Figure 8 panels from one batched pipeline run."""
+    report = detect_corpus(jobs=jobs, baselines=True)
+    return {
+        name: run_discovery(name, report=report)
+        for name in ("NAS", "Parboil", "Rodinia")
+    }
 
 
 def summary_against_paper(results: dict[str, DiscoveryResult]) -> str:

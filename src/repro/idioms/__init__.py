@@ -7,8 +7,10 @@ from .detect import (
 )
 from .extensions import (
     ExtendedReport,
+    FunctionExtensions,
     argminmax_spec,
     dot_product_spec,
+    find_extended_in_function,
     find_extended_reductions,
     nested_array_reduction_spec,
 )
@@ -27,6 +29,8 @@ from .postprocess import (
 )
 from .registry import (
     BUILTIN_IDIOMS,
+    CORE_IDIOMS,
+    EXTENSION_IDIOMS,
     IdiomRegistry,
     RegisteredIdiom,
     default_registry,
@@ -53,6 +57,8 @@ __all__ = [
     "IdiomRegistry",
     "RegisteredIdiom",
     "BUILTIN_IDIOMS",
+    "CORE_IDIOMS",
+    "EXTENSION_IDIOMS",
     "default_registry",
     "reset_default_registry",
     "for_loop_spec",
@@ -76,7 +82,9 @@ __all__ = [
     "ReductionOp",
     "AliasCheck",
     "find_extended_reductions",
+    "find_extended_in_function",
     "ExtendedReport",
+    "FunctionExtensions",
     "dot_product_spec",
     "argminmax_spec",
     "nested_array_reduction_spec",

@@ -15,7 +15,14 @@ from __future__ import annotations
 
 import time
 
-from ..constraints import FlowChecker, FlowPolicy, SolverContext, detect
+from ..constraints import (
+    FlowChecker,
+    FlowPolicy,
+    SharedSolverCache,
+    SolverContext,
+    SolverStats,
+    detect,
+)
 from ..constraints.flow import root_base
 from ..ir.function import Function
 from ..ir.module import Module
@@ -39,16 +46,30 @@ def find_reductions_in_function(
     function: Function,
     module: Module | None = None,
     registry: IdiomRegistry | None = None,
+    shared_cache: bool = True,
 ) -> FunctionReductions:
-    """Detect and post-process all reductions of one function."""
+    """Detect and post-process all reductions of one function.
+
+    ``shared_cache=True`` (the default) runs every spec against the
+    context's :class:`~repro.constraints.SharedSolverCache`, so the
+    scalar and histogram searches reuse one solved for-loop prefix and
+    each other's memoized proposals.  ``shared_cache=False`` gives each
+    ``detect`` call private state — the PR-1 engine, kept as the
+    differential/benchmark baseline.
+    """
     registry = registry if registry is not None else default_registry()
     scalar_spec = registry.spec("scalar-reduction")
     histogram_spec = registry.spec("histogram")
     ctx = SolverContext(function, module)
-    result = FunctionReductions(function, solver_context=ctx)
+    stats = SolverStats()
+    result = FunctionReductions(function, solver_context=ctx, stats=stats)
+
+    def run(spec):
+        cache = ctx.solver_cache if shared_cache else SharedSolverCache()
+        return detect(ctx, spec, stats=stats, cache=cache)
 
     seen_scalars: set[tuple[int, int]] = set()
-    for assignment in detect(ctx, scalar_spec):
+    for assignment in run(scalar_spec):
         key = (id(assignment["header"]), id(assignment["acc"]))
         if key in seen_scalars:
             continue
@@ -58,7 +79,7 @@ def find_reductions_in_function(
             result.scalars.append(record)
 
     seen_histograms: set[tuple[int, int]] = set()
-    for assignment in detect(ctx, histogram_spec):
+    for assignment in run(histogram_spec):
         key = (id(assignment["header"]), id(assignment["hist_store"]))
         if key in seen_histograms:
             continue
@@ -71,14 +92,19 @@ def find_reductions_in_function(
 
 
 def find_reductions(
-    module: Module, registry: IdiomRegistry | None = None
+    module: Module,
+    registry: IdiomRegistry | None = None,
+    shared_cache: bool = True,
 ) -> DetectionReport:
     """Detect reductions in every defined function of ``module``."""
     report = DetectionReport(module.name)
     started = time.perf_counter()
     for function in module.defined_functions():
         report.functions.append(
-            find_reductions_in_function(function, module, registry=registry)
+            find_reductions_in_function(
+                function, module, registry=registry,
+                shared_cache=shared_cache,
+            )
         )
     report.solve_seconds = time.perf_counter() - started
     return report

@@ -6,21 +6,32 @@ idioms."*  This module demonstrates that the decoupled design delivers
 on that promise — three further idioms written purely in the constraint
 DSL, run by the unmodified solver:
 
-* :func:`dot_product_spec` — ``acc += a[i] * b[i]`` over two distinct
-  arrays (the BLAS-mapping use case of §1);
-* :func:`argminmax_spec` — guarded best-value/best-index tracking
-  (kmeans' inner loop), which is *not* a simple reduction (the guard
-  reads the accumulator) and is correctly rejected by the base scalar
-  spec;
-* :func:`nested_array_reduction_spec` — the SP ``rms[m]`` pattern the
-  paper's tool misses (§6.1: "when the reduction loop was not the
-  innermost loop"): a read-modify-write whose store sits in an inner
-  loop and whose address is indexed by inner iterators only, making
-  the *outer* loop privatizable.
+* ``dot-product`` — ``acc += a[i] * b[i]`` over two distinct arrays
+  (the BLAS-mapping use case of §1);
+* ``argminmax`` — guarded best-value/best-index tracking (kmeans'
+  inner loop), which is *not* a simple reduction (the guard reads the
+  accumulator) and is correctly rejected by the base scalar spec;
+* ``nested-array-reduction`` — the SP ``rms[m]`` pattern the paper's
+  tool misses (§6.1: "when the reduction loop was not the innermost
+  loop"): a read-modify-write whose store sits in an inner loop and
+  whose address is indexed by inner iterators only, making the *outer*
+  loop privatizable.
 
-:func:`find_extended_reductions` runs all three on a module.  The
-default :func:`~repro.idioms.detect.find_reductions` driver is left
-untouched so the paper-faithful counts of Figure 8 stay exact.
+Like the core idioms, the extensions ship as ``.icsl`` files
+(``specs/{dot_product,argminmax,nested_reduction}.icsl``) resolved
+through the :class:`~repro.idioms.registry.IdiomRegistry`; the
+``*_spec()`` functions below are the native fallbacks, built from the
+same named predicate atoms (:mod:`repro.constraints.predicates`) and
+``flow(...)`` policies so the two paths cannot drift — the differential
+tests compare them solution-for-solution.
+
+:func:`find_extended_reductions` runs all three on a module;
+:func:`find_extended_in_function` is the per-function entry the
+pipeline uses so extension specs share one function's
+:class:`~repro.constraints.SolverContext` (and therefore its solved
+for-loop prefix) with the base detection.  The default
+:func:`~repro.idioms.detect.find_reductions` driver is left untouched
+so the paper-faithful counts of Figure 8 stay exact.
 """
 
 from __future__ import annotations
@@ -28,30 +39,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..constraints import (
-    Assignment,
-    ComputedOnlyFrom,
     ConstraintAnd,
     Distinct,
-    FlowPolicy,
     IdiomSpec,
     InBlock,
     Opcode,
     PhiIncomingFromBlock,
     PhiOfTwo,
-    Predicate,
     SolverContext,
+    SolverStats,
+    declarative_flow,
     detect,
+)
+from ..constraints.predicates import (
+    guard_matches_candidate,
+    load_before_store,
+    ordering_cmp,
+    same_join,
+    store_in_subloop,
 )
 from ..ir.block import BasicBlock
 from ..ir.function import Function
-from ..ir.instructions import FCmpInst, ICmpInst, PhiInst, StoreInst
+from ..ir.instructions import PhiInst
 from ..ir.module import Module
 from ..ir.values import Value
-from .forloop import (
-    FOR_LOOP_LABEL_ORDER,
-    for_loop_constraint,
-    loop_invariant_in,
-)
+from .forloop import FOR_LOOP_LABEL_ORDER, for_loop_constraint, loop_invariant_in
 from .postprocess import classify_update
 from .reports import ReductionOp
 
@@ -63,17 +75,6 @@ DOT_PRODUCT_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
     "acc", "update", "acc_init", "product", "load_a", "load_b",
     "gep_a", "gep_b", "base_a", "base_b",
 )
-
-
-def _scalar_policies(ctx: SolverContext, assignment: Assignment):
-    acc = assignment["acc"]
-    iterator = assignment["iterator"]
-    data = FlowPolicy(extra_sources=(acc,), rejected=(iterator,),
-                      index_sources=(iterator,), require_affine_index=True)
-    control = FlowPolicy(rejected=(iterator, acc),
-                         index_sources=(iterator,),
-                         require_affine_index=True)
-    return data, control
 
 
 def dot_product_spec() -> IdiomSpec:
@@ -93,8 +94,9 @@ def dot_product_spec() -> IdiomSpec:
         Opcode("gep_b", "gep", ("base_b", None)),
         Distinct("base_a", "base_b"),
         Distinct("acc", "iterator"),
-        ComputedOnlyFrom("update", "header", _scalar_policies,
-                         extra_labels=("acc", "iterator")),
+        declarative_flow("update", "header", sources=("acc",),
+                         rejected=("iterator",), index=("iterator",),
+                         affine=True),
     )
     return IdiomSpec("dot-product", DOT_PRODUCT_LABEL_ORDER, constraint)
 
@@ -130,84 +132,6 @@ ARGMINMAX_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
 )
 
 
-def _is_strict_comparison(ctx: SolverContext, assignment: Assignment) -> bool:
-    cmp = assignment["cmp"]
-    if isinstance(cmp, (FCmpInst, ICmpInst)):
-        return cmp.predicate in ("olt", "ogt", "slt", "sgt", "ole",
-                                 "oge", "sle", "sge")
-    return False
-
-
-def _phis_in_same_join(ctx: SolverContext, assignment: Assignment) -> bool:
-    best = assignment["best_update"]
-    pos = assignment["pos_update"]
-    return (
-        isinstance(best, PhiInst)
-        and isinstance(pos, PhiInst)
-        and best.parent is pos.parent
-    )
-
-
-def _structurally_equal(a: Value, b: Value, depth: int = 0) -> bool:
-    """Value equivalence modulo cross-block redundancy.
-
-    The frontend only CSEs within blocks, so the guard's ``a[i]`` load
-    and the assigned ``a[i]`` load are distinct instructions; they are
-    still the same value because the loads read the same address with
-    no intervening store (the idiom's flow conditions guarantee the
-    array is read-only in the loop).
-    """
-    if a is b:
-        return True
-    if depth > 6:
-        return False
-    from ..ir.instructions import (
-        BinaryInst,
-        CastInst,
-        GEPInst,
-        LoadInst,
-    )
-    from ..ir.values import ConstantFloat, ConstantInt
-
-    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
-        return a.value == b.value
-    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
-        return a.value == b.value
-    if isinstance(a, LoadInst) and isinstance(b, LoadInst):
-        return _structurally_equal(a.pointer, b.pointer, depth + 1)
-    if isinstance(a, GEPInst) and isinstance(b, GEPInst):
-        return a.base is b.base and _structurally_equal(
-            a.index, b.index, depth + 1
-        )
-    if isinstance(a, BinaryInst) and isinstance(b, BinaryInst):
-        return a.opcode == b.opcode and _structurally_equal(
-            a.lhs, b.lhs, depth + 1
-        ) and _structurally_equal(a.rhs, b.rhs, depth + 1)
-    if isinstance(a, CastInst) and isinstance(b, CastInst):
-        return a.opcode == b.opcode and _structurally_equal(
-            a.value, b.value, depth + 1
-        )
-    return False
-
-
-def _guard_matches_candidate(ctx: SolverContext,
-                             assignment: Assignment) -> bool:
-    """The guard must compare (a value equal to) the candidate against
-    the tracked best value."""
-    cmp = assignment["cmp"]
-    best = assignment["best"]
-    candidate = assignment["candidate"]
-    if not isinstance(cmp, (FCmpInst, ICmpInst)):
-        return False
-    if cmp.lhs is best:
-        other = cmp.rhs
-    elif cmp.rhs is best:
-        other = cmp.lhs
-    else:
-        return False
-    return _structurally_equal(other, candidate)
-
-
 def argminmax_spec() -> IdiomSpec:
     """Guarded best-value / best-index pair:
 
@@ -235,14 +159,12 @@ def argminmax_spec() -> IdiomSpec:
         # Join PHIs select carried vs candidate.
         PhiOfTwo("best_update", "best", "candidate"),
         PhiOfTwo("pos_update", "pos", "pos_candidate"),
-        Predicate(("best_update", "pos_update"), _phis_in_same_join,
-                  name="same-join"),
+        same_join("best_update", "pos_update"),
         # The guard compares the candidate (or an equivalent
         # recomputation of it) against the best value.
         Opcode("cmp", ("fcmp", "icmp"), (None, None)),
-        Predicate(("cmp",), _is_strict_comparison, name="ordering-cmp"),
-        Predicate(("cmp", "best", "candidate"), _guard_matches_candidate,
-                  name="guard-matches-candidate"),
+        ordering_cmp("cmp"),
+        guard_matches_candidate("cmp", "best", "candidate"),
     )
     return IdiomSpec("argminmax", ARGMINMAX_LABEL_ORDER, constraint)
 
@@ -276,55 +198,14 @@ NESTED_ARRAY_LABEL_ORDER: tuple[str, ...] = FOR_LOOP_LABEL_ORDER + (
 )
 
 
-def _store_in_strict_subloop(ctx: SolverContext,
-                             assignment: Assignment) -> bool:
-    """The store must sit in a loop strictly inside the bound loop —
-    the complement of the base histogram spec's placement rule, so
-    regular histograms are not double-reported."""
-    header = assignment["header"]
-    store = assignment["arr_store"]
-    if not isinstance(header, BasicBlock) or not isinstance(store, StoreInst):
-        return False
-    loop = ctx.loop_info.loop_with_header(header)
-    if loop is None or store.parent not in loop.blocks:
-        return False
-    innermost = ctx.loop_info.innermost_loop_of(store.parent)
-    return innermost is not loop
-
-
-def _rmw_same_block(ctx: SolverContext, assignment: Assignment) -> bool:
-    load = assignment["arr_load"]
-    store = assignment["arr_store"]
-    block = getattr(load, "parent", None)
-    if block is None or block is not store.parent:
-        return False
-    return block.instructions.index(load) < block.instructions.index(store)
-
-
-def _nested_idx_policies(ctx: SolverContext, assignment: Assignment):
-    iterator = assignment["iterator"]
-    base = assignment["base"]
-    # Crucially the *outer* iterator is rejected even inside addresses:
-    # if the address varied with the outer loop this would be a
-    # parallel write, and if it read the array a true dependence.
-    policy = FlowPolicy(rejected=(iterator,), forbidden_bases=(base,))
-    return policy, policy
-
-
-def _nested_update_policies(ctx: SolverContext, assignment: Assignment):
-    iterator = assignment["iterator"]
-    base = assignment["base"]
-    load = assignment["arr_load"]
-    data = FlowPolicy(extra_sources=(load,), rejected=(iterator,),
-                      forbidden_bases=(base,), index_sources=(iterator,))
-    control = FlowPolicy(rejected=(iterator, load),
-                         forbidden_bases=(base,),
-                         index_sources=(iterator,))
-    return data, control
-
-
 def nested_array_reduction_spec() -> IdiomSpec:
-    """Array reduction carried by a non-innermost loop (SP's ``rms``)."""
+    """Array reduction carried by a non-innermost loop (SP's ``rms``).
+
+    Crucially the idx flow rejects the *outer* iterator even inside
+    addresses (no ``index=``): if the address varied with the outer
+    loop this would be a parallel write, and if it read the array a
+    true dependence.
+    """
     constraint = ConstraintAnd(
         for_loop_constraint(),
         Opcode("arr_store", "store", ("update", "gep_st")),
@@ -332,14 +213,13 @@ def nested_array_reduction_spec() -> IdiomSpec:
         Opcode("gep_ld", "gep", ("base", "idx")),
         Opcode("arr_load", "load", ("gep_ld",)),
         loop_invariant_in("base", "entry"),
-        Predicate(("header", "arr_store"), _store_in_strict_subloop,
-                  name="store-in-subloop"),
-        Predicate(("arr_load", "arr_store"), _rmw_same_block,
-                  name="read-modify-write"),
-        ComputedOnlyFrom("idx", "header", _nested_idx_policies,
-                         extra_labels=("iterator", "base")),
-        ComputedOnlyFrom("update", "header", _nested_update_policies,
-                         extra_labels=("iterator", "base", "arr_load")),
+        store_in_subloop("header", "arr_store"),
+        load_before_store("arr_load", "arr_store"),
+        declarative_flow("idx", "header", rejected=("iterator",),
+                         forbidden=("base",)),
+        declarative_flow("update", "header", sources=("arr_load",),
+                         rejected=("iterator",), forbidden=("base",),
+                         index=("iterator",)),
     )
     return IdiomSpec(
         "nested-array-reduction", NESTED_ARRAY_LABEL_ORDER, constraint
@@ -370,6 +250,19 @@ class NestedArrayReduction:
 
 
 @dataclass
+class FunctionExtensions:
+    """Extension-idiom matches of one function."""
+
+    function: Function
+    dot_products: list[DotProductMatch] = field(default_factory=list)
+    argminmax: list[ArgMinMaxMatch] = field(default_factory=list)
+    nested_array: list[NestedArrayReduction] = field(default_factory=list)
+    #: The solver context detection ran with (possibly shared with the
+    #: base detection — see the pipeline).
+    solver_context: SolverContext | None = None
+
+
+@dataclass
 class ExtendedReport:
     """Results of the extension idioms over one module."""
 
@@ -378,64 +271,101 @@ class ExtendedReport:
     argminmax: list[ArgMinMaxMatch] = field(default_factory=list)
     nested_array: list[NestedArrayReduction] = field(default_factory=list)
 
+    def extend(self, matches: FunctionExtensions) -> None:
+        """Fold one function's matches into the module report."""
+        self.dot_products.extend(matches.dot_products)
+        self.argminmax.extend(matches.argminmax)
+        self.nested_array.extend(matches.nested_array)
 
-_DOT = dot_product_spec()
-_ARG = argminmax_spec()
-_NESTED = nested_array_reduction_spec()
 
 _MIN_PREDICATES = frozenset({"olt", "ole", "slt", "sle"})
 
+#: Flips a comparison predicate so the candidate reads on the left.
+_FLIPPED = {"olt": "ogt", "ogt": "olt", "slt": "sgt", "sgt": "slt",
+            "ole": "oge", "oge": "ole", "sle": "sge", "sge": "sle"}
 
-def find_extended_reductions(module: Module) -> ExtendedReport:
+
+def find_extended_in_function(
+    function: Function,
+    module: Module | None = None,
+    registry=None,
+    ctx: SolverContext | None = None,
+    stats: SolverStats | None = None,
+    shared_cache: bool = True,
+) -> FunctionExtensions:
+    """Run the three extension idioms on one function.
+
+    Specs resolve through the registry (the shipped ``.icsl`` files by
+    default).  Passing the ``ctx`` the base detection already built
+    shares every cached analysis *and* the solved for-loop prefix with
+    the scalar/histogram searches — the pipeline's cache-sharing path.
+    ``shared_cache=False`` gives every spec private solver state (the
+    PR-1 baseline).
+    """
+    from ..constraints import SharedSolverCache
+    from .registry import default_registry
+
+    registry = registry if registry is not None else default_registry()
+    ctx = ctx if ctx is not None else SolverContext(function, module)
+    result = FunctionExtensions(function, solver_context=ctx)
+    seen: set[tuple] = set()
+
+    def run(spec):
+        cache = ctx.solver_cache if shared_cache else SharedSolverCache()
+        return detect(ctx, spec, stats=stats, cache=cache)
+
+    for assignment in run(registry.spec("dot-product")):
+        key = ("dot", id(assignment["header"]), id(assignment["acc"]))
+        if key in seen:
+            continue
+        seen.add(key)
+        result.dot_products.append(
+            DotProductMatch(
+                function, assignment["header"], assignment["acc"],
+                assignment["base_a"], assignment["base_b"],
+            )
+        )
+    for assignment in run(registry.spec("argminmax")):
+        key = ("arg", id(assignment["header"]), id(assignment["best"]),
+               id(assignment["pos"]))
+        if key in seen:
+            continue
+        seen.add(key)
+        cmp = assignment["cmp"]
+        # Normalise the direction: candidate on the left.
+        predicate = cmp.predicate
+        if cmp.lhs is assignment["best"]:
+            predicate = _FLIPPED[predicate]
+        kind = "min" if predicate in _MIN_PREDICATES else "max"
+        result.argminmax.append(
+            ArgMinMaxMatch(function, assignment["header"],
+                           assignment["best"], assignment["pos"], kind)
+        )
+    for assignment in run(registry.spec("nested-array-reduction")):
+        # One record per store: in deeper nests several enclosing
+        # loops qualify as carriers; report the outermost (headers
+        # are enumerated in block order, outermost first).
+        key = ("nested", id(assignment["arr_store"]))
+        if key in seen:
+            continue
+        seen.add(key)
+        op = classify_update(assignment["arr_load"], assignment["update"])
+        if op is None:
+            continue
+        result.nested_array.append(
+            NestedArrayReduction(function, assignment["header"],
+                                 assignment["base"], op)
+        )
+    return result
+
+
+def find_extended_reductions(
+    module: Module, registry=None
+) -> ExtendedReport:
     """Run the three extension idioms over every defined function."""
     report = ExtendedReport(module.name)
     for function in module.defined_functions():
-        ctx = SolverContext(function, module)
-        seen: set[tuple] = set()
-        for assignment in detect(ctx, _DOT):
-            key = ("dot", id(assignment["header"]), id(assignment["acc"]))
-            if key in seen:
-                continue
-            seen.add(key)
-            report.dot_products.append(
-                DotProductMatch(
-                    function, assignment["header"], assignment["acc"],
-                    assignment["base_a"], assignment["base_b"],
-                )
-            )
-        for assignment in detect(ctx, _ARG):
-            key = ("arg", id(assignment["header"]), id(assignment["best"]),
-                   id(assignment["pos"]))
-            if key in seen:
-                continue
-            seen.add(key)
-            cmp = assignment["cmp"]
-            # Normalise the direction: candidate on the left.
-            predicate = cmp.predicate
-            if cmp.lhs is assignment["best"]:
-                flip = {"olt": "ogt", "ogt": "olt", "slt": "sgt",
-                        "sgt": "slt", "ole": "oge", "oge": "ole",
-                        "sle": "sge", "sge": "sle"}
-                predicate = flip[predicate]
-            kind = "min" if predicate in _MIN_PREDICATES else "max"
-            report.argminmax.append(
-                ArgMinMaxMatch(function, assignment["header"],
-                               assignment["best"], assignment["pos"], kind)
-            )
-        for assignment in detect(ctx, _NESTED):
-            # One record per store: in deeper nests several enclosing
-            # loops qualify as carriers; report the outermost (headers
-            # are enumerated in block order, outermost first).
-            key = ("nested", id(assignment["arr_store"]))
-            if key in seen:
-                continue
-            seen.add(key)
-            op = classify_update(assignment["arr_load"],
-                                 assignment["update"])
-            if op is None:
-                continue
-            report.nested_array.append(
-                NestedArrayReduction(function, assignment["header"],
-                                     assignment["base"], op)
-            )
+        report.extend(
+            find_extended_in_function(function, module, registry=registry)
+        )
     return report

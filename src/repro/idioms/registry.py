@@ -3,12 +3,14 @@
 §3.4 proposes reading idiom specifications from external files at
 runtime "avoiding the need for recompilation to experiment with
 analysis passes".  :class:`IdiomRegistry` makes that the default: the
-three shipped ``specs/*.icsl`` files are loaded at startup (falling
+shipped ``specs/*.icsl`` files — the three Fig. 5/§3.1 core idioms
+*and* the three §8 extension idioms — are loaded at startup (falling
 back to the native Python specs only if the package data is missing or
 unparsable), user spec files can be added with :meth:`load_file`, and
-:func:`~repro.idioms.detect.find_reductions` resolves every spec it
-runs through the registry — so new reduction scenarios are new text
-files, not new Python.
+both :func:`~repro.idioms.detect.find_reductions` and
+:func:`~repro.idioms.extensions.find_extended_reductions` resolve
+every spec they run through the registry — so new reduction scenarios
+are new text files, not new Python.
 """
 
 from __future__ import annotations
@@ -23,9 +25,18 @@ from ..constraints.specfile import BUILTIN_SPEC_FILES, builtin_spec_path
 #: Built-in idiom names; anything else is a custom idiom.
 BUILTIN_IDIOMS: tuple[str, ...] = tuple(BUILTIN_SPEC_FILES)
 
+#: The Fig. 5/§3.1 core idioms ``find_reductions`` runs (Figure 8).
+CORE_IDIOMS: tuple[str, ...] = ("for-loop", "scalar-reduction", "histogram")
+
+#: The §8 extension idioms ``find_extended_reductions`` runs.
+EXTENSION_IDIOMS: tuple[str, ...] = (
+    "dot-product", "argminmax", "nested-array-reduction",
+)
+
 #: Labels the post-processing stages read from solver assignments; a
-#: spec replacing a built-in must keep binding them (detect.py's record
-#: builders and ForLoopMatch index assignments by these names).
+#: spec replacing a built-in must keep binding them (detect.py's and
+#: extensions.py's record builders and ForLoopMatch index assignments
+#: by these names).
 REQUIRED_LABELS: dict[str, frozenset[str]] = {
     "for-loop": frozenset({
         "header", "body", "latch", "entry", "exit", "test",
@@ -38,6 +49,15 @@ REQUIRED_LABELS: dict[str, frozenset[str]] = {
         "header", "iterator", "base", "idx", "hist_load", "hist_store",
         "update",
     }),
+    "dot-product": frozenset({
+        "header", "acc", "base_a", "base_b",
+    }),
+    "argminmax": frozenset({
+        "header", "best", "pos", "cmp",
+    }),
+    "nested-array-reduction": frozenset({
+        "header", "arr_store", "arr_load", "update", "base",
+    }),
 }
 
 
@@ -47,7 +67,7 @@ class RegisteredIdiom:
 
     name: str
     spec: IdiomSpec
-    kind: str  # "for-loop" | "scalar-reduction" | "histogram" | "custom"
+    kind: str  # a built-in idiom's own name, or "custom"
     source: str  # spec file path, or "native" for the Python fallback
 
 
@@ -65,6 +85,18 @@ def _native_spec(name: str) -> IdiomSpec:
         from .histogram import histogram_spec
 
         return histogram_spec()
+    if name == "dot-product":
+        from .extensions import dot_product_spec
+
+        return dot_product_spec()
+    if name == "argminmax":
+        from .extensions import argminmax_spec
+
+        return argminmax_spec()
+    if name == "nested-array-reduction":
+        from .extensions import nested_array_reduction_spec
+
+        return nested_array_reduction_spec()
     raise KeyError(f"no native spec for idiom {name!r}")
 
 

@@ -6,7 +6,7 @@ import enum
 from dataclasses import dataclass, field
 
 from ..analysis.loops import Loop
-from ..constraints import SolverContext
+from ..constraints import SolverContext, SolverStats
 from ..ir.block import BasicBlock
 from ..ir.function import Function
 from ..ir.instructions import LoadInst, PhiInst, StoreInst
@@ -107,8 +107,12 @@ class FunctionReductions:
     histograms: list[HistogramReduction] = field(default_factory=list)
     #: The solver context detection ran with (CFG, dominators, loops,
     #: SCEV, ...), kept so callers can run further specs — e.g. the
-    #: CLI's custom idioms — without recomputing every analysis.
+    #: CLI's custom idioms or the pipeline's extension stage — without
+    #: recomputing every analysis (or re-solving the for-loop prefix).
     solver_context: SolverContext | None = None
+    #: Search-effort counters accumulated across the specs run on this
+    #: function (the pipeline's ``constraint_evals`` metric).
+    stats: SolverStats | None = None
 
 
 @dataclass
@@ -133,6 +137,31 @@ class DetectionReport:
     def counts(self) -> tuple[int, int]:
         """(scalar count, histogram count)."""
         return len(self.scalars), len(self.histograms)
+
+    @property
+    def total_constraint_evals(self) -> int:
+        """Conjunct evaluations summed over all functions — the search
+        effort the shared-cache pipeline minimizes."""
+        return sum(
+            f.stats.constraint_evals for f in self.functions
+            if f.stats is not None
+        )
+
+    def release_solver_state(self) -> None:
+        """Drop the retained solver contexts and their shared caches.
+
+        Each :class:`FunctionReductions` keeps its context (analyses,
+        memoized proposals, solved for-loop prefixes) so callers can
+        run further specs cheaply.  A caller that instead *retains
+        reports* — e.g. collecting one per corpus program — should
+        release that state once detection is final, or the caches live
+        as long as the reports do.
+        """
+        for function_reductions in self.functions:
+            context = function_reductions.solver_context
+            if context is not None and context._solver_cache is not None:
+                context._solver_cache.clear()
+            function_reductions.solver_context = None
 
     def summary(self) -> str:
         """One-line summary used by examples and the harness."""

@@ -1,0 +1,60 @@
+"""Corpus-scale detection pipeline.
+
+The paper's detector runs once per compiled program; the north-star is
+a system that detects reductions across heavy corpus traffic as fast as
+the hardware allows.  This package is the seam between the two: a
+staged, batched detection engine that
+
+* **shards** corpus programs across worker processes
+  (:mod:`repro.pipeline.shard`),
+* runs each program through the **staged** worker — compile → detect
+  (shared solver caches) → extension idioms → baseline models
+  (:mod:`repro.pipeline.worker`),
+* reduces per-shard results with a **deterministic merge** back into
+  canonical corpus order (:mod:`repro.pipeline.engine`), and
+* reports everything as process-portable **digests** whose fingerprint
+  is byte-identical between ``jobs=1`` and ``jobs=N`` runs
+  (:mod:`repro.pipeline.digest`).
+
+Quickstart::
+
+    from repro.pipeline import detect_corpus
+
+    report = detect_corpus(jobs=4, extended=True)
+    print(report.summary())
+    assert report.fingerprint() == detect_corpus(jobs=1,
+                                                 extended=True).fingerprint()
+"""
+
+from .digest import (
+    CorpusReport,
+    ExtensionDigest,
+    FunctionDigest,
+    HistogramDigest,
+    ProgramDigest,
+    ScalarDigest,
+    digest_extensions,
+    digest_report,
+)
+from .engine import DetectionPipeline, detect_corpus, merge_digests
+from .options import PipelineOptions
+from .shard import make_shards
+from .worker import detect_program, run_shard
+
+__all__ = [
+    "PipelineOptions",
+    "DetectionPipeline",
+    "detect_corpus",
+    "merge_digests",
+    "make_shards",
+    "run_shard",
+    "detect_program",
+    "CorpusReport",
+    "ProgramDigest",
+    "FunctionDigest",
+    "ScalarDigest",
+    "HistogramDigest",
+    "ExtensionDigest",
+    "digest_report",
+    "digest_extensions",
+]

@@ -1,0 +1,221 @@
+"""Process-portable detection digests.
+
+A :class:`~repro.idioms.reports.DetectionReport` holds live IR objects
+and cannot cross a process boundary (nor be compared between two
+processes, where object identities differ).  The pipeline therefore
+reduces every report to a **digest**: plain strings and integers that
+pickle cheaply and compare structurally — two runs produced the same
+reports if and only if their digests (and hence their fingerprints) are
+equal.  Timings are carried but excluded from comparison and from the
+fingerprint: they are the only fields allowed to differ between a
+serial and a sharded run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..idioms.extensions import ExtendedReport, FunctionExtensions
+from ..idioms.reports import DetectionReport
+
+
+@dataclass(frozen=True)
+class ScalarDigest:
+    """One scalar reduction, by stable names."""
+
+    name: str
+    op: str
+    input_bases: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class HistogramDigest:
+    """One histogram reduction, by stable names."""
+
+    name: str
+    op: str
+    idx_affine: bool
+    input_bases: tuple[str, ...]
+    runtime_checks: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ExtensionDigest:
+    """One extension-idiom match (dot product / argminmax / nested)."""
+
+    idiom: str
+    name: str
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FunctionDigest:
+    """One function's detections plus the search effort they cost."""
+
+    function: str
+    scalars: tuple[ScalarDigest, ...]
+    histograms: tuple[HistogramDigest, ...]
+    constraint_evals: int
+
+
+@dataclass(frozen=True)
+class ProgramDigest:
+    """One corpus program's full detection outcome."""
+
+    name: str
+    suite: str
+    functions: tuple[FunctionDigest, ...]
+    extended: tuple[ExtensionDigest, ...] = ()
+    #: Baseline model results (None when the stage was not run).
+    icc: int | None = None
+    polly_scops: int | None = None
+    polly_reductions: int | None = None
+    #: Wall-clock per pipeline stage — informational only.
+    stage_seconds: dict = field(default_factory=dict, compare=False,
+                                hash=False)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.name, self.suite)
+
+    def counts(self) -> tuple[int, int]:
+        """(scalar count, histogram count)."""
+        return (
+            sum(len(f.scalars) for f in self.functions),
+            sum(len(f.histograms) for f in self.functions),
+        )
+
+    @property
+    def constraint_evals(self) -> int:
+        return sum(f.constraint_evals for f in self.functions)
+
+
+@dataclass(frozen=True)
+class CorpusReport:
+    """The pipeline's merged, order-canonical result."""
+
+    programs: tuple[ProgramDigest, ...]
+    jobs: int = 1
+    #: End-to-end wall clock of the pipeline run — informational.
+    wall_seconds: float = field(default=0.0, compare=False, hash=False)
+
+    def counts(self) -> tuple[int, int]:
+        """(scalar count, histogram count) over the whole corpus."""
+        scalars = sum(p.counts()[0] for p in self.programs)
+        histograms = sum(p.counts()[1] for p in self.programs)
+        return scalars, histograms
+
+    @property
+    def total_constraint_evals(self) -> int:
+        return sum(p.constraint_evals for p in self.programs)
+
+    def program(self, name: str, suite: str) -> ProgramDigest:
+        for digest in self.programs:
+            if digest.key == (name, suite):
+                return digest
+        raise KeyError(f"no program {name!r} in suite {suite!r}")
+
+    def canonical(self, effort: bool = True) -> tuple:
+        """The comparison-relevant content as nested plain tuples.
+
+        ``effort=False`` drops the search-effort counters, leaving only
+        the detections — the form in which a shared-cache run and the
+        per-call PR-1 engine must agree (they do the same detections
+        with different amounts of work).
+        """
+        return tuple(
+            (
+                p.name, p.suite,
+                tuple(
+                    (f.function, f.scalars, f.histograms)
+                    + ((f.constraint_evals,) if effort else ())
+                    for f in p.functions
+                ),
+                p.extended, p.icc, p.polly_scops, p.polly_reductions,
+            )
+            for p in self.programs
+        )
+
+    def fingerprint(self, effort: bool = True) -> str:
+        """A stable hash of everything except timings.
+
+        ``jobs=1`` and ``jobs=N`` runs of the same options must agree
+        on this byte-for-byte — the pipeline's determinism contract.
+        ``effort=False`` hashes detections only (see :meth:`canonical`).
+        """
+        return hashlib.sha256(
+            repr(self.canonical(effort=effort)).encode()
+        ).hexdigest()
+
+    def summary(self) -> str:
+        """One-line overview used by the CLI and the benchmark."""
+        scalars, histograms = self.counts()
+        extended = sum(len(p.extended) for p in self.programs)
+        extra = f", {extended} extension match(es)" if extended else ""
+        return (
+            f"{len(self.programs)} program(s): {scalars} scalar, "
+            f"{histograms} histogram reduction(s){extra} "
+            f"[jobs={self.jobs}, {self.total_constraint_evals} evals, "
+            f"{self.wall_seconds * 1000:.0f} ms]"
+        )
+
+
+def digest_report(report: DetectionReport) -> tuple[FunctionDigest, ...]:
+    """Reduce a live detection report to its digests."""
+    functions = []
+    for fr in report.functions:
+        functions.append(
+            FunctionDigest(
+                function=fr.function.name,
+                scalars=tuple(
+                    ScalarDigest(
+                        name=s.name,
+                        op=s.op.value,
+                        input_bases=tuple(
+                            b.short_name() for b in s.input_bases
+                        ),
+                    )
+                    for s in fr.scalars
+                ),
+                histograms=tuple(
+                    HistogramDigest(
+                        name=h.name,
+                        op=h.op.value,
+                        idx_affine=h.idx_affine,
+                        input_bases=tuple(
+                            b.short_name() for b in h.input_bases
+                        ),
+                        runtime_checks=tuple(
+                            c.describe() for c in h.runtime_checks
+                        ),
+                    )
+                    for h in fr.histograms
+                ),
+                constraint_evals=(
+                    fr.stats.constraint_evals if fr.stats is not None else 0
+                ),
+            )
+        )
+    return tuple(functions)
+
+
+def digest_extensions(
+    report: ExtendedReport | FunctionExtensions,
+) -> tuple[ExtensionDigest, ...]:
+    """Reduce extension-idiom matches to their digests."""
+    return (
+        tuple(
+            ExtensionDigest("dot-product", m.name)
+            for m in report.dot_products
+        )
+        + tuple(
+            ExtensionDigest("argminmax", m.name, detail=m.kind)
+            for m in report.argminmax
+        )
+        + tuple(
+            ExtensionDigest("nested-array-reduction", m.name,
+                            detail=m.op.value)
+            for m in report.nested_array
+        )
+    )

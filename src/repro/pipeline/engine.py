@@ -1,0 +1,125 @@
+"""The pipeline driver: shard → map → deterministic merge.
+
+:func:`detect_corpus` is the batch entry point the evaluation drivers,
+the CLI (``python -m repro corpus --jobs N``) and the benchmarks use.
+``jobs=1`` runs the worker in-process; ``jobs>1`` spreads shards over a
+``multiprocessing`` pool.  Both paths execute the *same* worker code on
+the *same* deterministic shards and feed :func:`merge_digests`, which
+reassembles results in canonical corpus order — so a parallel run's
+:class:`~repro.pipeline.digest.CorpusReport` is identical (same
+fingerprint) to the serial one, only faster.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Sequence
+
+from .digest import CorpusReport, ProgramDigest
+from .options import PipelineOptions
+from .shard import make_shards
+from .worker import run_shard
+
+Key = tuple[str, str]
+
+
+def merge_digests(
+    shard_results: Sequence[Sequence[ProgramDigest]],
+    keys: Sequence[Key],
+) -> tuple[ProgramDigest, ...]:
+    """Reduce per-shard digests back into canonical corpus order.
+
+    The merge is *checked*: every requested key must arrive exactly
+    once, so a lost or duplicated shard fails loudly instead of
+    producing a silently-different report.
+    """
+    by_key: dict[Key, ProgramDigest] = {}
+    for digests in shard_results:
+        for digest in digests:
+            if digest.key in by_key:
+                raise ValueError(
+                    f"program {digest.key} produced by two shards"
+                )
+            by_key[digest.key] = digest
+    missing = [key for key in keys if key not in by_key]
+    if missing:
+        raise ValueError(f"shards returned no result for {missing}")
+    unexpected = set(by_key) - set(keys)
+    if unexpected:
+        raise ValueError(f"shards returned unrequested {sorted(unexpected)}")
+    return tuple(by_key[key] for key in keys)
+
+
+class DetectionPipeline:
+    """A configured corpus-detection run."""
+
+    def __init__(self, options: PipelineOptions | None = None, **kwargs):
+        self.options = (
+            options if options is not None else PipelineOptions(**kwargs)
+        )
+
+    def keys(self) -> list[Key]:
+        """The corpus keys this run covers, in canonical order."""
+        from ..workloads import corpus_keys
+
+        keys = corpus_keys()
+        suites = self.options.suites
+        if suites is not None:
+            keys = [key for key in keys if key[1] in suites]
+        return keys
+
+    def run(self, keys: Sequence[Key] | None = None) -> CorpusReport:
+        """Execute the pipeline; ``keys`` restricts the program set."""
+        options = self.options
+        keys = list(keys) if keys is not None else self.keys()
+        started = time.perf_counter()
+        shards = make_shards(keys, options.jobs)
+        if len(shards) <= 1 or options.jobs == 1:
+            shard_results = [run_shard(shard, options) for shard in shards]
+        else:
+            shard_results = self._run_pool(shards)
+        programs = merge_digests(shard_results, keys)
+        return CorpusReport(
+            programs=programs,
+            jobs=options.jobs,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def _run_pool(self, shards: list[list[Key]]):
+        options = self.options
+        method = options.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        mp = multiprocessing.get_context(method)
+        with mp.Pool(processes=len(shards)) as pool:
+            return pool.starmap(
+                run_shard, [(shard, options) for shard in shards]
+            )
+
+
+def detect_corpus(
+    jobs: int = 1,
+    extended: bool = False,
+    baselines: bool = False,
+    suites: Sequence[str] | None = None,
+    spec_files: Sequence[str] = (),
+    shared_cache: bool = True,
+    start_method: str | None = None,
+    keys: Sequence[Key] | None = None,
+) -> CorpusReport:
+    """Detect reductions across the corpus, optionally in parallel."""
+    options = PipelineOptions(
+        jobs=jobs,
+        extended=extended,
+        baselines=baselines,
+        suites=tuple(suites) if suites is not None else None,
+        spec_files=tuple(spec_files),
+        shared_cache=shared_cache,
+        start_method=start_method,
+    )
+    return DetectionPipeline(options).run(keys=keys)

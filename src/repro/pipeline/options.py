@@ -1,0 +1,43 @@
+"""Pipeline configuration.
+
+:class:`PipelineOptions` crosses process boundaries (it is sent to
+every worker), so it holds only plain picklable data — notably user
+spec *paths*, not loaded registries; each worker builds its own
+:class:`~repro.idioms.registry.IdiomRegistry` from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PipelineOptions:
+    """What to run and how to split it."""
+
+    #: Worker process count; 1 runs everything in-process.
+    jobs: int = 1
+    #: Also run the §8 extension idioms (sharing each function's
+    #: solver context — and solved for-loop prefix — with the base
+    #: detection).
+    extended: bool = False
+    #: Also run the icc and Polly baseline models per program.
+    baselines: bool = False
+    #: Restrict to these suites (None = whole corpus).
+    suites: tuple[str, ...] | None = None
+    #: Extra ``.icsl`` files loaded into every worker's registry.
+    spec_files: tuple[str, ...] = ()
+    #: Share solver caches across the specs run on one function
+    #: (False restores the per-``detect``-call PR-1 engine — the
+    #: benchmark baseline).
+    shared_cache: bool = True
+    #: multiprocessing start method (None = fork when available).
+    start_method: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        # Normalize list arguments so options compare/pickle cleanly.
+        object.__setattr__(self, "spec_files", tuple(self.spec_files))
+        if self.suites is not None:
+            object.__setattr__(self, "suites", tuple(self.suites))

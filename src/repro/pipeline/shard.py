@@ -1,0 +1,58 @@
+"""Deterministic corpus sharding.
+
+Work is split *by program* (a program's functions share compiled IR
+and solver caches, so a program is the natural unit), balanced by a
+static cost proxy, and assigned with longest-processing-time-first —
+a pure function of ``(keys, jobs, weights)``, so every run with the
+same inputs produces the same shards regardless of scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+Key = tuple[str, str]
+
+
+def default_weight(key: Key) -> int:
+    """Static cost proxy: the program's source length.
+
+    Detection effort grows with function count and size; source length
+    tracks both well enough to balance shards without running anything.
+    """
+    from ..workloads import program
+
+    return len(program(key[0], key[1]).source)
+
+
+def make_shards(
+    keys: Sequence[Key],
+    jobs: int,
+    weight: Callable[[Key], int] | None = None,
+) -> list[list[Key]]:
+    """Split ``keys`` into at most ``jobs`` balanced, deterministic shards.
+
+    Greedy LPT: heaviest program first, onto the lightest shard; ties
+    broken by shard index and by the key's position in ``keys`` — no
+    dependence on dict/set iteration or timing.  Within a shard, keys
+    keep their canonical (corpus) order.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    keys = list(keys)
+    if not keys:
+        return []
+    jobs = min(jobs, len(keys))
+    if jobs == 1:
+        return [keys]
+    weight = weight if weight is not None else default_weight
+    position = {key: i for i, key in enumerate(keys)}
+    loads = [0] * jobs
+    assigned: list[list[Key]] = [[] for _ in range(jobs)]
+    for key in sorted(keys, key=lambda k: (-weight(k), position[k])):
+        target = min(range(jobs), key=lambda i: (loads[i], i))
+        loads[target] += weight(key)
+        assigned[target].append(key)
+    for shard in assigned:
+        shard.sort(key=lambda k: position[k])
+    return [shard for shard in assigned if shard]

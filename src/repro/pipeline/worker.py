@@ -1,0 +1,118 @@
+"""The per-shard detection worker — the pipeline's map stage.
+
+Each worker processes its shard of corpus programs through the staged
+engine:
+
+1. **compile** — mini-C source to canonical SSA (fresh per worker;
+   nothing is inherited from the parent, so spawn and fork agree);
+2. **detect**  — the core scalar/histogram idioms via
+   :func:`~repro.idioms.detect.find_reductions_in_function`, all specs
+   of one function sharing that function's
+   :class:`~repro.constraints.SharedSolverCache` (one solved for-loop
+   prefix instead of one per spec);
+3. **extend**  — optionally the §8 extension idioms, *reusing the
+   stage-2 solver contexts* so they also replay the solved prefix;
+4. **baselines** — optionally the icc and Polly models;
+5. **digest** — reduce everything to process-portable digests.
+
+``run_shard`` is a module-level function so ``multiprocessing`` can
+pickle it under any start method.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from .digest import ProgramDigest, digest_extensions, digest_report
+from .options import PipelineOptions
+
+
+def _build_registry(options: PipelineOptions):
+    from ..idioms.registry import IdiomRegistry
+
+    registry = IdiomRegistry()
+    for path in options.spec_files:
+        registry.load_file(path)
+    return registry
+
+
+def detect_program(
+    key: tuple[str, str],
+    options: PipelineOptions,
+    registry=None,
+) -> ProgramDigest:
+    """Run one corpus program through every pipeline stage."""
+    from ..idioms.detect import find_reductions_in_function
+    from ..idioms.extensions import ExtendedReport, find_extended_in_function
+    from ..idioms.reports import DetectionReport
+    from ..workloads import program
+
+    registry = registry if registry is not None else _build_registry(options)
+    name, suite_name = key
+    bench = program(name, suite_name)
+    stage_seconds: dict[str, float] = {}
+
+    started = time.perf_counter()
+    module = bench.fresh_module()
+    stage_seconds["compile"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    report = DetectionReport(module.name)
+    for function in module.defined_functions():
+        report.functions.append(
+            find_reductions_in_function(
+                function, module, registry=registry,
+                shared_cache=options.shared_cache,
+            )
+        )
+    stage_seconds["detect"] = time.perf_counter() - started
+
+    extended = ()
+    if options.extended:
+        started = time.perf_counter()
+        matches = ExtendedReport(module.name)
+        for fr in report.functions:
+            # Reuse the detect stage's context (analyses + solver
+            # cache + solved for-loop prefix) and charge the search to
+            # the same per-function stats.
+            matches.extend(
+                find_extended_in_function(
+                    fr.function, module, registry=registry,
+                    ctx=fr.solver_context if options.shared_cache else None,
+                    stats=fr.stats,
+                    shared_cache=options.shared_cache,
+                )
+            )
+        extended = digest_extensions(matches)
+        stage_seconds["extend"] = time.perf_counter() - started
+
+    icc_count = polly_scops = polly_reductions = None
+    if options.baselines:
+        from ..baselines import icc, polly
+
+        started = time.perf_counter()
+        icc_count = icc.detected_reduction_count(module)
+        polly_report = polly.analyze_module(module)
+        polly_scops, _ = polly_report.counts()
+        polly_reductions = len(polly_report.reductions)
+        stage_seconds["baselines"] = time.perf_counter() - started
+
+    return ProgramDigest(
+        name=name,
+        suite=suite_name,
+        functions=digest_report(report),
+        extended=extended,
+        icc=icc_count,
+        polly_scops=polly_scops,
+        polly_reductions=polly_reductions,
+        stage_seconds=stage_seconds,
+    )
+
+
+def run_shard(
+    shard: Sequence[tuple[str, str]], options: PipelineOptions
+) -> list[ProgramDigest]:
+    """Process one shard of corpus keys; the registry is built once."""
+    registry = _build_registry(options)
+    return [detect_program(key, options, registry) for key in shard]

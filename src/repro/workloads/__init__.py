@@ -5,6 +5,7 @@ from .corpus import (
     SUITE_NAMES,
     all_programs,
     clear_cache,
+    corpus_keys,
     program,
     suite,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "FIGURE15_BENCHMARKS",
     "suite",
     "all_programs",
+    "corpus_keys",
     "program",
     "clear_cache",
 ]

@@ -13,6 +13,12 @@ FIGURE15_BENCHMARKS = ("EP", "IS", "histo", "tpacf", "kmeans")
 
 _CACHE: dict[str, list[BenchmarkProgram]] = {}
 
+#: Lookup index built once from the suite lists: ``(name, suite)`` to
+#: the program, plus ``name`` alone to its first match in suite order
+#: (suites may reuse names, e.g. bfs).  Invalidated by
+#: :func:`clear_cache` together with the suite cache.
+_INDEX: dict[tuple[str, str | None], BenchmarkProgram] | None = None
+
 
 def suite(name: str) -> list[BenchmarkProgram]:
     """The programs of one suite (cached)."""
@@ -34,15 +40,41 @@ def all_programs() -> list[BenchmarkProgram]:
     return programs
 
 
+def corpus_keys() -> list[tuple[str, str]]:
+    """``(name, suite)`` of every corpus program, in canonical order.
+
+    The pipeline shards these keys across workers and merges results
+    back into this order, so parallel runs are deterministic.
+    """
+    return [(p.name, p.suite) for p in all_programs()]
+
+
+def _index() -> dict[tuple[str, str | None], BenchmarkProgram]:
+    global _INDEX
+    if _INDEX is None:
+        index: dict[tuple[str, str | None], BenchmarkProgram] = {}
+        for candidate in all_programs():
+            index[(candidate.name, candidate.suite)] = candidate
+            # First match in suite order wins the suite-less lookup.
+            index.setdefault((candidate.name, None), candidate)
+        _INDEX = index
+    return _INDEX
+
+
 def program(name: str, suite_name: str | None = None) -> BenchmarkProgram:
-    """Look one program up by name (suites may reuse names, e.g. bfs)."""
-    for candidate in all_programs():
-        if candidate.name == name:
-            if suite_name is None or candidate.suite == suite_name:
-                return candidate
-    raise KeyError(f"no benchmark named {name!r}")
+    """Look one program up by name (suites may reuse names, e.g. bfs).
+
+    O(1): programs are indexed by ``(name, suite)`` once rather than
+    scanning :func:`all_programs` linearly per lookup.
+    """
+    try:
+        return _index()[(name, suite_name)]
+    except KeyError:
+        raise KeyError(f"no benchmark named {name!r}") from None
 
 
 def clear_cache() -> None:
     """Drop memoised programs (tests that mutate modules use this)."""
+    global _INDEX
     _CACHE.clear()
+    _INDEX = None

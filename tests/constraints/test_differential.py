@@ -1,18 +1,24 @@
 """Differential-testing harness for the constraint solver.
 
-Two independent equivalences, each parametrized across all three
-shipped idioms and a small C-source corpus:
+Three independent equivalences, each parametrized across all six
+shipped idioms (core + §8 extensions) and a small C-source corpus:
 
 * ``detect`` ≡ ``detect_brute_force`` — the guided backtracking search
   finds exactly the §3.2 enumeration's solution set.  Brute force is
   ``|values(F)|^|I|``, so this runs on *derived mini-specs* (2–3 labels
-  drawn from each idiom's constraint vocabulary); the full 11/14/18
-  label specs are infeasible to enumerate by construction, which is the
+  drawn from each idiom's constraint vocabulary); the full 11–21 label
+  specs are infeasible to enumerate by construction, which is the
   paper's point.
 
 * file-spec ≡ native-spec — every shipped ``.icsl`` port produces the
   identical solution set to its native Python counterpart, on every
   corpus program, for the full specs.
+
+* shared-cache ≡ per-call-cache — running every spec against one
+  context's :class:`~repro.constraints.SharedSolverCache` (memoized
+  proposals shared across specs, solved for-loop prefixes replayed)
+  returns the identical solution list, in the identical order, as the
+  PR-1 engine's per-``detect``-call state.
 
 The helpers (:func:`solution_set`, :func:`assert_same_solutions`,
 :func:`contexts_for`) are reusable for future idioms: add a spec pair
@@ -26,17 +32,24 @@ from repro.constraints import (
     IdiomSpec,
     Opcode,
     PhiOfTwo,
+    SharedSolverCache,
     SolverContext,
+    SolverStats,
     detect,
     detect_brute_force,
     load_spec_file,
 )
+from repro.constraints.predicates import load_before_store, same_join
 from repro.constraints.specfile import builtin_spec_path
 from repro.frontend import compile_source
 from repro.idioms import (
     BUILTIN_IDIOMS,
+    IdiomRegistry,
+    argminmax_spec,
+    dot_product_spec,
     for_loop_spec,
     histogram_spec,
+    nested_array_reduction_spec,
     scalar_reduction_spec,
 )
 
@@ -83,12 +96,49 @@ CORPUS = {
             return s;
         }
         """,
+    "dot-product": """
+        double xs[16]; double ys[16]; int n;
+        double dot(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + xs[i] * ys[i];
+            return s;
+        }
+        double norm(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + xs[i] * xs[i];
+            return s;
+        }
+        """,
+    "argminmax": """
+        double a[16]; int n;
+        int argmin_of(void) {
+            double best = 1000000.0;
+            int pos = 0;
+            for (int i = 0; i < n; i++) {
+                if (a[i] < best) { best = a[i]; pos = i; }
+            }
+            return pos;
+        }
+        """,
+    "nested-rms": """
+        double rms[5]; double rhs[80]; int n;
+        void norms(void) {
+            for (int i = 0; i < n; i++)
+                for (int m = 0; m < 5; m++) {
+                    double add = rhs[i*5 + m];
+                    rms[m] = rms[m] + add * add;
+                }
+        }
+        """,
 }
 
 NATIVE_SPECS = {
     "for-loop": for_loop_spec,
     "scalar-reduction": scalar_reduction_spec,
     "histogram": histogram_spec,
+    "dot-product": dot_product_spec,
+    "argminmax": argminmax_spec,
+    "nested-array-reduction": nested_array_reduction_spec,
 }
 
 
@@ -150,6 +200,34 @@ MINI_SPECS = {
             Opcode("gep_st", "gep", (None, None)),
         ),
     ),
+    "dot-product": lambda: IdiomSpec(
+        "dot-product-mini",
+        ("product", "load_a", "load_b"),
+        ConstraintAnd(
+            Opcode("product", "fmul", ("load_a", "load_b"),
+                   commutative=True),
+            Opcode("load_a", "load", (None,)),
+            Opcode("load_b", "load", (None,)),
+        ),
+    ),
+    "argminmax": lambda: IdiomSpec(
+        "argminmax-mini",
+        ("best_update", "pos_update"),
+        ConstraintAnd(
+            Opcode("best_update", "phi", ()),
+            Opcode("pos_update", "phi", ()),
+            same_join("best_update", "pos_update"),
+        ),
+    ),
+    "nested-array-reduction": lambda: IdiomSpec(
+        "nested-mini",
+        ("arr_load", "arr_store"),
+        ConstraintAnd(
+            Opcode("arr_store", "store", (None, None)),
+            Opcode("arr_load", "load", (None,)),
+            load_before_store("arr_load", "arr_store"),
+        ),
+    ),
 }
 
 
@@ -182,6 +260,64 @@ def test_all_builtin_idioms_covered():
     assert set(MINI_SPECS) == set(BUILTIN_IDIOMS)
 
 
+# -- shared-cache ≡ per-call-cache on the full idioms -------------------------
+
+
+@pytest.mark.parametrize("program", sorted(CORPUS))
+def test_shared_cache_matches_per_call_cache(program):
+    """One context's shared cache (memoized proposals + replayed
+    for-loop prefixes, accumulated across all six specs) returns the
+    identical solution list — order included — as PR-1's fresh
+    per-``detect``-call state."""
+    registry = IdiomRegistry()
+    for ctx in contexts_for(CORPUS[program]):
+        for name in BUILTIN_IDIOMS:
+            spec = registry.spec(name)
+            shared = detect(ctx, spec)  # ctx.solver_cache, persistent
+            private = detect(ctx, spec, cache=SharedSolverCache())
+            assert shared == private, (program, name)
+
+
+def test_limit_bounded_search_never_computes_the_base():
+    """``limit`` must stay cheap: a bounded search on a cold cache
+    falls back to plain DFS rather than fully enumerating the base
+    spec first; on a warm cache it replays the existing list."""
+    registry = IdiomRegistry()
+    spec = registry.spec("scalar-reduction")
+    for ctx in contexts_for(CORPUS["scalar-sum"]):
+        cold_stats = SolverStats()
+        first = detect(ctx, spec, stats=cold_stats, limit=1,
+                       cache=SharedSolverCache())
+        assert len(first) == 1
+        assert cold_stats.prefix_reuses == 0
+        unbounded = detect(ctx, spec)  # warms ctx.solver_cache
+        warm_stats = SolverStats()
+        bounded = detect(ctx, spec, stats=warm_stats, limit=1)
+        assert warm_stats.prefix_reuses == 1
+        assert bounded == unbounded[:1] == first
+
+
+def test_shared_cache_saves_constraint_evals():
+    """Running the extends-family specs on one context must replay the
+    solved for-loop prefix: fewer total conjunct evaluations than the
+    per-call engine, for the same solutions."""
+    registry = IdiomRegistry()
+    specs = [registry.spec(n) for n in ("scalar-reduction", "histogram")]
+    for ctx in contexts_for(CORPUS["histogram"]):
+        shared_stats, private_stats = SolverStats(), SolverStats()
+        shared = [
+            detect(ctx, spec, stats=shared_stats) for spec in specs
+        ]
+        private = [
+            detect(ctx, spec, stats=private_stats,
+                   cache=SharedSolverCache())
+            for spec in specs
+        ]
+        assert shared == private
+        assert shared_stats.prefix_reuses == len(specs)
+        assert shared_stats.constraint_evals < private_stats.constraint_evals
+
+
 def test_corpus_finds_expected_reductions():
     """Sanity: the corpus exercises both hit and miss paths."""
     scalar = scalar_reduction_spec()
@@ -194,7 +330,11 @@ def test_corpus_finds_expected_reductions():
         "histogram": (0, 1),
         "not-a-reduction": (0, 0),
         "iterator-carried": (0, 0),  # §3.1.1 cond. 4: iterator in value
+        "dot-product": (2, 0),  # both dot and norm are scalar sums too
+        "argminmax": (0, 0),  # the guard reads the accumulator
+        "nested-rms": (0, 0),  # §6.1: mid-nest stores stay out
     }
+    assert set(expected) == set(CORPUS)
     for name, (scalars, histograms) in expected.items():
         found_scalars = found_histograms = 0
         for ctx in contexts_for(CORPUS[name]):

@@ -106,6 +106,45 @@ def test_suggest_order_preserves_solution_set(idiom, program):
         ) == solution_set(detect(ctx, reordered), spec.label_order)
 
 
+@pytest.mark.parametrize("idiom", sorted(NATIVE_SPECS))
+def test_cost_aware_suggest_order_preserves_solution_set(idiom):
+    """Feeding observed SolverStats back into the ordering (the
+    cost-aware flag) may permute labels but never changes solutions."""
+    spec = NATIVE_SPECS[idiom]()
+    for program in ("scalar-sum", "histogram"):
+        for ctx in contexts_for(CORPUS[program]):
+            feedback = SolverStats()
+            baseline = detect(ctx, spec, stats=feedback)
+            order = suggest_order(spec, feedback=feedback)
+            assert sorted(order) == sorted(spec.label_order)
+            assert solution_set(
+                detect(ctx, spec.reordered(order)), spec.label_order
+            ) == solution_set(baseline, spec.label_order)
+
+
+def test_cost_aware_suggest_order_reacts_to_observed_cost():
+    """A label observed to produce huge candidate lists is deferred
+    within its proposability tier — the runtime feedback, not just the
+    static score, decides."""
+    spec = for_loop_spec()
+    static = suggest_order(spec)
+    feedback = SolverStats()
+    feedback.candidates_per_label = {static[0]: 10 ** 6}
+    cost_aware = suggest_order(spec, feedback=feedback)
+    assert sorted(cost_aware) == sorted(spec.label_order)
+    assert cost_aware != static
+    assert cost_aware[0] != static[0]
+
+
+def test_suggest_order_without_feedback_is_static():
+    """The flag off (no feedback) reproduces the static heuristic."""
+    for factory in NATIVE_SPECS.values():
+        spec = factory()
+        assert suggest_order(spec) == suggest_order(
+            spec, feedback=SolverStats()
+        )
+
+
 def test_suggest_order_starts_proposable():
     """The heuristic must not open with a universe-fallback label."""
     spec = for_loop_spec()
@@ -142,5 +181,7 @@ def test_any_label_order_preserves_solution_set(data):
 
 def test_builtin_coverage_matches_registry():
     assert set(NATIVE_SPECS) == set(BUILTIN_IDIOMS)
-    assert {s().name for s in (for_loop_spec, scalar_reduction_spec,
-                               histogram_spec)} == set(BUILTIN_IDIOMS)
+    assert {spec.name for spec in
+            (factory() for factory in NATIVE_SPECS.values())} == set(
+        BUILTIN_IDIOMS
+    )

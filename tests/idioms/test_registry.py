@@ -39,6 +39,58 @@ def test_builtins_load_from_shipped_spec_files():
     assert len(registry.spec("histogram").label_order) == 18
 
 
+def test_extension_idioms_are_shipped_builtins():
+    """The §8 extension idioms load from their own ``.icsl`` files and
+    extend the for-loop spec *object*, so the solver can replay its
+    solved prefix."""
+    from repro.idioms import EXTENSION_IDIOMS
+
+    registry = IdiomRegistry()
+    forloop = registry.spec("for-loop")
+    assert set(EXTENSION_IDIOMS) <= set(registry.names())
+    for name in EXTENSION_IDIOMS:
+        entry = registry.entry(name)
+        assert entry.source.endswith(".icsl")
+        assert entry.spec.base is forloop
+        assert entry.spec.label_order[:11] == forloop.label_order
+
+
+def test_extension_override_rewires_extended_detection(tmp_path):
+    """Replacing a shipped extension idiom through a user file rewires
+    ``find_extended_reductions`` — same §3.4 loop as the core idioms."""
+    from repro.idioms import find_extended_reductions
+
+    source = """
+    double xs[16]; double ys[16]; int n;
+    double dot(void) {
+        double s = 0.0;
+        for (int i = 0; i < n; i++) s = s + xs[i] * ys[i];
+        return s;
+    }
+    """
+    module = compile_source(source)
+    assert len(find_extended_reductions(module).dot_products) == 1
+    path = tmp_path / "no-dot.icsl"
+    path.write_text(
+        "idiom dot-product extends for-loop {\n"
+        "  order: header test body exit entry latch iterator next_iter"
+        " iter_begin iter_step iter_end acc update acc_init product"
+        " load_a load_b gep_a gep_b base_a base_b\n"
+        "  phi2(acc, update, acc_init)\n"
+        "  opcode(product, fmul, load_a, load_b)\n"
+        "  opcode(load_a, load, gep_a)\n"
+        "  opcode(load_b, load, gep_b)\n"
+        "  opcode(gep_a, gep, base_a, _)\n"
+        "  opcode(gep_b, gep, base_b, _)\n"
+        "  distinct(header, header)\n"  # never true
+        "}\n"
+    )
+    registry = IdiomRegistry()
+    registry.load_file(str(path))
+    report = find_extended_reductions(module, registry=registry)
+    assert not report.dot_products
+
+
 def test_find_reductions_routes_through_registry():
     module = compile_source(SOURCE)
     report = find_reductions(module, registry=IdiomRegistry())

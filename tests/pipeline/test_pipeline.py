@@ -1,0 +1,173 @@
+"""Tests for the corpus-scale detection pipeline.
+
+The determinism contract: a sharded run (``jobs>1``) must produce a
+report *identical* — same digests, same fingerprint — to the serial
+run, for any shard count and any program subset; and the shared-cache
+engine must find exactly the detections of the per-call-cache PR-1
+engine, with strictly less search effort.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idioms import find_extended_reductions, find_reductions
+from repro.pipeline import (
+    PipelineOptions,
+    detect_corpus,
+    digest_extensions,
+    digest_report,
+    make_shards,
+    merge_digests,
+    run_shard,
+)
+from repro.workloads import corpus_keys, program
+
+KEYS = corpus_keys()
+
+
+# -- sharding -----------------------------------------------------------------
+
+
+def test_corpus_keys_cover_the_40_programs():
+    assert len(KEYS) == 40
+    assert len(set(KEYS)) == 40
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 3, 7, 40, 100])
+def test_make_shards_partitions_exactly(jobs):
+    shards = make_shards(KEYS, jobs)
+    assert len(shards) <= jobs
+    flattened = [key for shard in shards for key in shard]
+    assert sorted(flattened) == sorted(KEYS)
+    # Deterministic: the same inputs shard the same way.
+    assert shards == make_shards(KEYS, jobs)
+
+
+def test_make_shards_preserves_canonical_order_within_shards():
+    for shard in make_shards(KEYS, 4):
+        positions = [KEYS.index(key) for key in shard]
+        assert positions == sorted(positions)
+
+
+def test_make_shards_rejects_bad_jobs():
+    with pytest.raises(ValueError):
+        make_shards(KEYS, 0)
+
+
+# -- merge --------------------------------------------------------------------
+
+
+def _digests(keys):
+    return run_shard(keys, PipelineOptions())
+
+
+def test_merge_restores_canonical_order():
+    keys = KEYS[:4]
+    shards = [[keys[2], keys[3]], [keys[0], keys[1]]]
+    merged = merge_digests([_digests(s) for s in shards], keys)
+    assert [d.key for d in merged] == keys
+
+
+def test_merge_rejects_duplicates_missing_and_unrequested():
+    keys = KEYS[:2]
+    digests = _digests(keys)
+    with pytest.raises(ValueError, match="two shards"):
+        merge_digests([digests, digests], keys)
+    with pytest.raises(ValueError, match="no result"):
+        merge_digests([digests], KEYS[:3])
+    with pytest.raises(ValueError, match="unrequested"):
+        merge_digests([digests], keys[:1])
+
+
+# -- determinism: jobs=1 ≡ jobs=N --------------------------------------------
+
+
+def test_parallel_corpus_detection_identical_to_serial():
+    """The acceptance criterion: over all 40 corpus programs, a
+    sharded run merges to a report byte-identical to the serial one."""
+    serial = detect_corpus(jobs=1, extended=True, baselines=True)
+    parallel = detect_corpus(jobs=2, extended=True, baselines=True)
+    assert serial.programs == parallel.programs
+    assert serial.fingerprint() == parallel.fingerprint()
+    assert serial.counts() == (84, 6)
+
+
+@settings(max_examples=5, deadline=None)
+@given(data=st.data())
+def test_any_shard_count_and_subset_is_deterministic(data):
+    """Property form: any jobs>=2 and any corpus subset produce the
+    serial report exactly."""
+    keys = data.draw(
+        st.lists(st.sampled_from(KEYS), min_size=1, max_size=6,
+                 unique=True),
+        label="keys",
+    )
+    keys.sort(key=KEYS.index)
+    jobs = data.draw(st.integers(min_value=2, max_value=8), label="jobs")
+    serial = detect_corpus(jobs=1, keys=keys)
+    parallel = detect_corpus(jobs=jobs, keys=keys)
+    assert serial.programs == parallel.programs
+    assert serial.fingerprint() == parallel.fingerprint()
+
+
+# -- shared-cache engine ≡ per-call engine ------------------------------------
+
+
+def test_shared_cache_engine_matches_per_call_detections():
+    """Same detections as PR-1's per-call-cache engine, with strictly
+    fewer constraint evaluations (the shared for-loop prefix)."""
+    shared = detect_corpus(jobs=1, extended=True)
+    per_call = detect_corpus(jobs=1, extended=True, shared_cache=False)
+    assert shared.fingerprint(effort=False) == per_call.fingerprint(
+        effort=False
+    )
+    assert shared.total_constraint_evals < per_call.total_constraint_evals
+
+
+# -- digests match the in-process drivers -------------------------------------
+
+
+def test_program_digests_match_find_reductions():
+    """The pipeline digest of a program equals digesting a plain
+    ``find_reductions`` run — the pipeline adds sharding and caching,
+    never different detections."""
+    for key in [("EP", "NAS"), ("histo", "Parboil"), ("kmeans", "Rodinia")]:
+        bench = program(*key)
+        module = bench.fresh_module()
+        expected_functions = digest_report(find_reductions(module))
+        digest = _digests([key])[0]
+        # Search-effort counters depend on cache state, so compare the
+        # detections themselves.
+        strip = lambda fns: [
+            (f.function, f.scalars, f.histograms) for f in fns
+        ]
+        assert strip(digest.functions) == strip(expected_functions)
+        scalars, histograms = digest.counts()
+        assert scalars == bench.expectation.ours_scalars
+        assert histograms == bench.expectation.ours_histograms
+
+
+def test_extension_digests_match_native_driver():
+    report = detect_corpus(jobs=1, extended=True, suites=("NAS",))
+    for digest in report.programs:
+        module = program(digest.name, digest.suite).fresh_module()
+        expected = digest_extensions(find_extended_reductions(module))
+        assert tuple(sorted(d.name for d in digest.extended)) == tuple(
+            sorted(d.name for d in expected)
+        )
+
+
+def test_baseline_stage_records_model_counts():
+    report = detect_corpus(jobs=1, baselines=True, suites=("Parboil",))
+    for digest in report.programs:
+        expectation = program(digest.name, digest.suite).expectation
+        assert digest.icc == expectation.icc
+        assert digest.polly_scops == expectation.scops
+        assert digest.polly_reductions == expectation.polly_reductions
+
+
+def test_stage_timings_are_recorded_but_not_compared():
+    a, b = (_digests([("EP", "NAS")])[0] for _ in range(2))
+    assert set(a.stage_seconds) >= {"compile", "detect"}
+    assert a == b  # stage_seconds is compare=False

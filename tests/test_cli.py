@@ -66,9 +66,35 @@ def test_detect_list_idioms_without_file(capsys):
     assert main(["detect", "--list-idioms"]) == 0
     out = capsys.readouterr().out
     assert "registered idioms:" in out
-    for name in ("for-loop", "scalar-reduction", "histogram"):
+    for name in ("for-loop", "scalar-reduction", "histogram",
+                 "dot-product", "argminmax", "nested-array-reduction"):
         assert name in out
     assert "forloop.icsl" in out
+    assert "argminmax.icsl" in out
+
+
+def test_detect_extended_flag(tmp_path, capsys):
+    path = tmp_path / "dot.c"
+    path.write_text(
+        "double xs[16]; double ys[16]; int n;\n"
+        "double dot(void) {\n"
+        "    double s = 0.0;\n"
+        "    for (int i = 0; i < n; i++) s = s + xs[i] * ys[i];\n"
+        "    return s;\n"
+        "}\n"
+    )
+    assert main(["detect", str(path), "--extended"]) == 0
+    out = capsys.readouterr().out
+    assert "extension dot-product" in out
+
+
+def test_corpus_command_with_jobs_and_extended(capsys):
+    assert main(["corpus", "--jobs", "2", "--extended"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8 (NAS): reductions detected" in out
+    assert "paper vs measured" in out
+    assert "extension idioms:" in out
+    assert "nested-array-reduction" in out
 
 
 def test_detect_without_file_or_list_flag_errors(capsys):

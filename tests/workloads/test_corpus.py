@@ -133,3 +133,28 @@ def test_program_lookup_by_suite():
     assert rodinia_bfs.suite == "Rodinia"
     with pytest.raises(KeyError):
         program("nonexistent")
+
+
+def test_program_lookup_uses_index_invalidated_by_clear_cache():
+    """``program()`` resolves through the (name, suite) index built
+    once per cache generation — and a suite-less name resolves to its
+    first match in suite order, same as the old linear scan."""
+    from repro.workloads import clear_cache, corpus_keys
+    from repro.workloads import corpus as corpus_module
+
+    clear_cache()
+    assert corpus_module._INDEX is None
+    before = program("BT")
+    assert corpus_module._INDEX is not None
+    # Same object as the suite list's entry: the index is a view, not
+    # a copy.
+    assert before is suite("NAS")[0]
+    assert program("bfs") is program("bfs", "Parboil")  # suite order
+    # clear_cache drops the index with the suite cache; fresh program
+    # objects appear afterwards.
+    clear_cache()
+    assert corpus_module._INDEX is None
+    after = program("BT")
+    assert after is not before
+    assert after.name == before.name
+    assert corpus_keys()[0] == ("BT", "NAS")
