@@ -21,9 +21,21 @@ Commands
 ``corpus``
     Run detection over the built-in 40-program corpus through the
     batched pipeline and print the Figure 8 panels.  ``--jobs N``
-    shards programs across N worker processes (the merged report is
+    shards work across N worker processes (the merged report is
     identical to the serial one); ``--extended`` also runs the §8
-    extension idioms.
+    extension idioms; ``--granularity function`` ships
+    ``(program, function)`` units so one giant module cannot serialize
+    the run; ``--weights-from REPORT.json`` balances shards by a
+    previous run's measured costs; ``--save-report`` records this
+    run's digests (costs included) for later ``--weights-from`` use.
+
+``serve``
+    Run the same corpus through the **persistent serving engine**:
+    long-lived workers, async submission, per-program digests streamed
+    as they complete.  ``--requests N`` submits the corpus N times
+    (the warm-worker path); ``--check`` verifies the served report is
+    fingerprint-identical to a serial batch run and exits non-zero on
+    mismatch.
 """
 
 from __future__ import annotations
@@ -165,12 +177,14 @@ def _cmd_parallelize(args) -> int:
 
 def _cmd_corpus(args) -> int:
     from .evaluation.discovery import run_discovery, summary_against_paper
-    from .pipeline import detect_corpus
+    from .pipeline import detect_corpus, save_report
 
     # One pipeline run feeds both the Figure 8 panels and the
     # extension listing.
     report = detect_corpus(jobs=args.jobs, baselines=True,
-                           extended=args.extended)
+                           extended=args.extended,
+                           granularity=args.granularity,
+                           weights_from=args.weights_from)
     results = {
         name: run_discovery(name, report=report)
         for name in ("NAS", "Parboil", "Rodinia")
@@ -187,6 +201,55 @@ def _cmd_corpus(args) -> int:
                 detail = f"  [{match.detail}]" if match.detail else ""
                 print(f"  {program.suite}/{program.name}  "
                       f"{match.idiom}  {match.name}{detail}")
+    if args.save_report:
+        save_report(report, args.save_report)
+        print(f"report saved to {args.save_report}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .pipeline import PipelineOptions, ServingEngine, save_report
+
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    options = PipelineOptions(
+        jobs=args.jobs,
+        extended=args.extended,
+        baselines=args.baselines,
+        granularity=args.granularity,
+        weights_from=args.weights_from,
+    )
+    report = None
+    with ServingEngine(options) as engine:
+        for request in range(args.requests):
+            job = engine.submit()
+            print(f"request {request + 1}/{args.requests}: "
+                  f"{len(job.keys)} program(s) submitted to "
+                  f"{engine.workers} persistent worker(s)")
+            for digest in job.stream():
+                scalars, histograms = digest.counts()
+                print(f"  {digest.suite}/{digest.name}: {scalars} scalar, "
+                      f"{histograms} histogram, "
+                      f"{digest.constraint_evals} evals")
+            report = job.result()
+            print(f"request {request + 1}: {report.summary()}")
+    if args.save_report:
+        save_report(report, args.save_report)
+        print(f"report saved to {args.save_report}")
+    if args.check:
+        from .pipeline import detect_corpus
+
+        batch = detect_corpus(jobs=1, extended=args.extended,
+                              baselines=args.baselines)
+        if report.fingerprint() != batch.fingerprint():
+            print("ERROR: served report diverged from the batch engine",
+                  file=sys.stderr)
+            return 2
+        print("check: served fingerprint identical to jobs=1 batch run")
     return 0
 
 
@@ -227,7 +290,44 @@ def main(argv: list[str] | None = None) -> int:
                             help="worker processes for the pipeline")
     corpus_cmd.add_argument("--extended", action="store_true",
                             help="also run the extension idioms")
+    corpus_cmd.add_argument("--granularity",
+                            choices=("program", "function"),
+                            default="program",
+                            help="work-unit granularity for sharding")
+    corpus_cmd.add_argument("--weights-from", metavar="REPORT.json",
+                            default=None,
+                            help="balance shards by a previous run's "
+                                 "measured costs")
+    corpus_cmd.add_argument("--save-report", metavar="REPORT.json",
+                            default=None,
+                            help="save this run's digests for later "
+                                 "--weights-from use")
     corpus_cmd.set_defaults(fn=_cmd_corpus)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="persistent serving engine over the corpus")
+    serve_cmd.add_argument("--jobs", type=int, default=2,
+                           help="persistent worker processes")
+    serve_cmd.add_argument("--requests", type=int, default=1,
+                           help="times to submit the corpus")
+    serve_cmd.add_argument("--extended", action="store_true",
+                           help="also run the extension idioms")
+    serve_cmd.add_argument("--baselines", action="store_true",
+                           help="also run the icc/Polly models")
+    serve_cmd.add_argument("--granularity",
+                           choices=("program", "function"),
+                           default="function",
+                           help="work-unit granularity (default: function)")
+    serve_cmd.add_argument("--weights-from", metavar="REPORT.json",
+                           default=None,
+                           help="serve heaviest measured units first")
+    serve_cmd.add_argument("--save-report", metavar="REPORT.json",
+                           default=None,
+                           help="save the last request's digests")
+    serve_cmd.add_argument("--check", action="store_true",
+                           help="verify fingerprint identity with the "
+                                "jobs=1 batch engine")
+    serve_cmd.set_defaults(fn=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.fn(args)

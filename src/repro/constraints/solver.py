@@ -41,8 +41,9 @@ the comparison baseline.
 differential testing and for the ablation benchmark.
 :func:`suggest_order` is an automatic label-order heuristic scored by
 proposability, for specs whose author did not curate an order; given a
-:class:`SolverStats` from a previous run it additionally weighs the
-*observed* per-label candidate counts (cost-aware ordering).
+:class:`SolverStats` from previous runs it instead follows the
+cheapest *measured* continuation at every step, conditioned on the
+bound label set (cost-aware ordering).
 """
 
 from __future__ import annotations
@@ -64,6 +65,16 @@ class SolverStats:
     solutions: int = 0
     fallbacks_to_universe: int = 0
     candidates_per_label: dict[str, int] = field(default_factory=dict)
+    #: Observed candidate-list sizes conditioned on the *bound prefix*:
+    #: ``(label, frozenset of labels bound when the proposal was made)``
+    #: maps to ``(visits, total candidates)``.  Unlike the flat
+    #: per-label totals above, this does not conflate a label's position
+    #: in the enumeration order with its proposal quality — a label that
+    #: saw few candidates only because the search was already pruned is
+    #: distinguishable from one that proposes cheaply from nothing.
+    candidates_per_prefix: dict[tuple[str, frozenset[str]], tuple[int, int]] = (
+        field(default_factory=dict)
+    )
     #: Top-level conjunct ``partial_check`` evaluations — the redundant
     #: work the incremental index eliminates.
     constraint_evals: int = 0
@@ -72,6 +83,43 @@ class SolverStats:
     #: Searches that replayed a base spec's solved prefix instead of
     #: re-enumerating it.
     prefix_reuses: int = 0
+
+    def record_candidates(self, label: str, bound: frozenset[str],
+                          count: int) -> None:
+        """Record one proposal of ``count`` candidates for ``label``
+        made while exactly ``bound`` labels were assigned."""
+        self.candidates_per_label[label] = (
+            self.candidates_per_label.get(label, 0) + count
+        )
+        visits, total = self.candidates_per_prefix.get((label, bound), (0, 0))
+        self.candidates_per_prefix[(label, bound)] = (visits + 1,
+                                                      total + count)
+
+    def merge(self, other: "SolverStats") -> "SolverStats":
+        """Accumulate ``other``'s counters into this one (in place).
+
+        Used to aggregate feedback across runs — several functions, or
+        several enumeration orders of the same spec — before handing the
+        result to :func:`suggest_order`.  Returns ``self``.
+        """
+        self.assignments_tried += other.assignments_tried
+        self.partial_rejections += other.partial_rejections
+        self.solutions += other.solutions
+        self.fallbacks_to_universe += other.fallbacks_to_universe
+        self.constraint_evals += other.constraint_evals
+        self.proposal_cache_hits += other.proposal_cache_hits
+        self.prefix_reuses += other.prefix_reuses
+        for label, count in other.candidates_per_label.items():
+            self.candidates_per_label[label] = (
+                self.candidates_per_label.get(label, 0) + count
+            )
+        for key, (visits, total) in other.candidates_per_prefix.items():
+            seen_visits, seen_total = self.candidates_per_prefix.get(
+                key, (0, 0)
+            )
+            self.candidates_per_prefix[key] = (seen_visits + visits,
+                                               seen_total + total)
+        return self
 
 
 class SharedSolverCache:
@@ -279,6 +327,12 @@ def detect(
     cache = cache if cache is not None else ctx.solver_cache
     memo = cache.proposal_memo
     all_indices = tuple(range(len(conjuncts)))
+    # The bound-label set at depth k is always exactly order[:k] (the
+    # replayed prefix is an order prefix too) — precompute the
+    # frozensets once instead of rebuilding one per search node.
+    prefix_sets = [
+        frozenset(order[:k]) for k in range(len(order) + 1)
+    ]
 
     def partial_ok(k: int) -> bool:
         indices = compiled.schedule[k] if incremental else all_indices
@@ -300,9 +354,7 @@ def detect(
         if candidates is None:
             candidates = ctx.universe
             stats.fallbacks_to_universe += 1
-        stats.candidates_per_label[label] = (
-            stats.candidates_per_label.get(label, 0) + len(candidates)
-        )
+        stats.record_candidates(label, prefix_sets[k], len(candidates))
         for value in candidates:
             assignment[label] = value
             stats.assignments_tried += 1
@@ -373,17 +425,12 @@ def _base_prefix_solutions(
         base_stats = SolverStats()
         solutions = detect(ctx, base, stats=base_stats, cache=cache)
         cache.store_solutions(base, solutions)
-        # Charge the base search's effort — but not its solution count —
-        # to the caller: the prefix work happened on this detect's dime.
-        stats.assignments_tried += base_stats.assignments_tried
-        stats.partial_rejections += base_stats.partial_rejections
-        stats.fallbacks_to_universe += base_stats.fallbacks_to_universe
-        stats.constraint_evals += base_stats.constraint_evals
-        stats.proposal_cache_hits += base_stats.proposal_cache_hits
-        for label, count in base_stats.candidates_per_label.items():
-            stats.candidates_per_label[label] = (
-                stats.candidates_per_label.get(label, 0) + count
-            )
+        # Charge the base search's effort — but not its solution count
+        # (or prefix-reuse tally) — to the caller: the prefix work
+        # happened on this detect's dime.
+        base_stats.solutions = 0
+        base_stats.prefix_reuses = 0
+        stats.merge(base_stats)
     return solutions
 
 
@@ -418,18 +465,29 @@ def suggest_order(
     unchanged by construction (and by test).
 
     ``feedback`` switches on **cost-aware** ordering: given the
-    :class:`SolverStats` of a previous run of this spec (on a
-    representative function), labels whose *observed* candidate lists
-    were small are preferred within the same proposability tier — the
-    runtime proposal count, not just the static proposability score,
-    decides the order.  With ``feedback=None`` the static heuristic is
-    unchanged.
+    :class:`SolverStats` of previous runs of this spec (on a
+    representative function — :meth:`SolverStats.merge` aggregates
+    several runs), the order follows the cheapest *measured
+    continuation* at every step.  The statistics are conditioned on the
+    bound prefix — :attr:`SolverStats.candidates_per_prefix` keys
+    ``(label, bound label set)`` — because a proposal's candidate list
+    depends only on which labels are assigned, never on the order they
+    were assigned in.  A flat per-label total would conflate a label's
+    position in the observed order with its proposal quality (a label
+    deep in the order sees few candidates merely because the search was
+    already pruned); the conditioned signal does not.  At each step the
+    label with the smallest mean observed candidate list *for exactly
+    the current bound set* wins; labels never measured under that bound
+    set are assumed expensive, so the heuristic never trades measured
+    territory for unmeasured territory — feedback from a run of some
+    order is therefore never worse than that order itself.  Where
+    nothing was measured (or with ``feedback=None``) the static
+    heuristic decides, unchanged.
     """
     compiled = compile_spec(spec)
     original = spec.label_order
     position = {label: i for i, label in enumerate(original)}
-    observed = dict(feedback.candidates_per_label) if feedback else {}
-    max_observed = max(observed.values(), default=0)
+    per_prefix = dict(feedback.candidates_per_prefix) if feedback else {}
     placed: list[str] = []
     placed_set: set[str] = set()
 
@@ -448,24 +506,36 @@ def suggest_order(
             best = max(best, value)
         return best
 
-    def observed_cost(label: str) -> float:
-        """Observed candidate volume, normalized to [0, 1].
-
-        Labels the previous run never reached (pruned away) count as
-        free; with no feedback every label costs the same and the
-        static order decides.
-        """
-        if not max_observed:
-            return 0.0
-        return observed.get(label, 0) / max_observed
+    def observed_cost(label: str) -> float | None:
+        """Mean measured candidate-list size for binding ``label`` with
+        exactly the current ``placed_set`` bound, or None if that
+        continuation was never observed."""
+        entry = per_prefix.get((label, frozenset(placed_set)))
+        if entry is None:
+            return None
+        visits, total = entry
+        return total / max(1, visits)
 
     while len(placed) < len(original):
-        best_label = min(
-            (label for label in original if label not in placed_set),
-            key=lambda label: (
-                -score(label), observed_cost(label), position[label]
-            ),
-        )
+        remaining = [label for label in original if label not in placed_set]
+        costs = {label: observed_cost(label) for label in remaining}
+        if any(cost is not None for cost in costs.values()):
+            # Cost-aware step: cheapest measured continuation first;
+            # unmeasured continuations are assumed expensive.
+            best_label = min(
+                remaining,
+                key=lambda label: (
+                    costs[label] is None,
+                    costs[label] if costs[label] is not None else 0.0,
+                    -score(label),
+                    position[label],
+                ),
+            )
+        else:
+            best_label = min(
+                remaining,
+                key=lambda label: (-score(label), position[label]),
+            )
         placed.append(best_label)
         placed_set.add(best_label)
     return tuple(placed)

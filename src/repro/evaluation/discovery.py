@@ -72,16 +72,21 @@ def run_discovery(
     suite_name: str,
     jobs: int = 1,
     report: CorpusReport | None = None,
+    granularity: str = "program",
+    weights_from: str | None = None,
 ) -> DiscoveryResult:
     """Reproduce one panel of Figure 8.
 
     ``report`` reuses an existing pipeline run (``run_all_discovery``
     shares one batched run across all three panels); otherwise the
-    pipeline runs here, sharded over ``jobs`` worker processes.
+    pipeline runs here, sharded over ``jobs`` worker processes at the
+    requested granularity — the panels are identical either way, by
+    the pipeline's fingerprint contract.
     """
     if report is None:
         report = detect_corpus(
-            jobs=jobs, baselines=True, suites=(suite_name,)
+            jobs=jobs, baselines=True, suites=(suite_name,),
+            granularity=granularity, weights_from=weights_from,
         )
     result = DiscoveryResult(suite_name)
     for program in suite(suite_name):
@@ -108,9 +113,15 @@ def run_discovery(
     return result
 
 
-def run_all_discovery(jobs: int = 1) -> dict[str, DiscoveryResult]:
+def run_all_discovery(
+    jobs: int = 1,
+    granularity: str = "program",
+    weights_from: str | None = None,
+) -> dict[str, DiscoveryResult]:
     """All three Figure 8 panels from one batched pipeline run."""
-    report = detect_corpus(jobs=jobs, baselines=True)
+    report = detect_corpus(jobs=jobs, baselines=True,
+                           granularity=granularity,
+                           weights_from=weights_from)
     return {
         name: run_discovery(name, report=report)
         for name in ("NAS", "Parboil", "Rodinia")

@@ -5,25 +5,35 @@ a system that detects reductions across heavy corpus traffic as fast as
 the hardware allows.  This package is the seam between the two: a
 staged, batched detection engine that
 
-* **shards** corpus programs across worker processes
-  (:mod:`repro.pipeline.shard`),
-* runs each program through the **staged** worker — compile → detect
-  (shared solver caches) → extension idioms → baseline models
-  (:mod:`repro.pipeline.worker`),
-* reduces per-shard results with a **deterministic merge** back into
-  canonical corpus order (:mod:`repro.pipeline.engine`), and
+* **plans and shards** corpus work across worker processes — whole
+  programs, or ``(program, function)`` units so one giant module
+  cannot serialize a run; weighted by a static proxy or by a previous
+  run's **measured costs** (:mod:`repro.pipeline.shard`),
+* runs each unit through the **staged** worker — compile (cached per
+  worker) → detect (shared solver caches) → extension idioms →
+  baseline models (:mod:`repro.pipeline.worker`),
+* reduces per-shard results with a **deterministic checked merge**
+  back into canonical corpus order (:mod:`repro.pipeline.engine`),
+* serves continuous traffic through a **persistent engine** —
+  long-lived warm workers, async submission, streamed per-program
+  digests (:mod:`repro.pipeline.serving`), and
 * reports everything as process-portable **digests** whose fingerprint
-  is byte-identical between ``jobs=1`` and ``jobs=N`` runs
-  (:mod:`repro.pipeline.digest`).
+  is byte-identical between ``jobs=1``, ``jobs=N``, function-sharded
+  and served runs (:mod:`repro.pipeline.digest`).
 
 Quickstart::
 
-    from repro.pipeline import detect_corpus
+    from repro.pipeline import PipelineOptions, ServingEngine, detect_corpus
 
-    report = detect_corpus(jobs=4, extended=True)
+    report = detect_corpus(jobs=4, extended=True, granularity="function")
     print(report.summary())
     assert report.fingerprint() == detect_corpus(jobs=1,
                                                  extended=True).fingerprint()
+
+    with ServingEngine(PipelineOptions(jobs=4, extended=True,
+                                       granularity="function")) as engine:
+        for digest in engine.submit().stream():
+            print(digest.name, digest.counts())
 """
 
 from .digest import (
@@ -33,28 +43,66 @@ from .digest import (
     HistogramDigest,
     ProgramDigest,
     ScalarDigest,
+    UnitDigest,
+    assemble_program,
     digest_extensions,
+    digest_function,
     digest_report,
+    load_report,
+    report_from_json,
+    report_to_json,
+    save_report,
 )
-from .engine import DetectionPipeline, detect_corpus, merge_digests
+from .engine import (
+    DetectionPipeline,
+    detect_corpus,
+    merge_digests,
+    merge_unit_digests,
+)
 from .options import PipelineOptions
-from .shard import make_shards
-from .worker import detect_program, run_shard
+from .serving import ServingEngine, ServingJob, serve_worker
+from .shard import (
+    WorkUnit,
+    lpt_order,
+    make_shards,
+    measured_weights,
+    plan_units,
+    unit_weight,
+)
+from .worker import detect_program, detect_unit, run_shard, run_unit_shard
 
 __all__ = [
     "PipelineOptions",
     "DetectionPipeline",
+    "ServingEngine",
+    "ServingJob",
+    "serve_worker",
     "detect_corpus",
     "merge_digests",
+    "merge_unit_digests",
+    "lpt_order",
     "make_shards",
+    "plan_units",
+    "measured_weights",
+    "unit_weight",
+    "WorkUnit",
     "run_shard",
+    "run_unit_shard",
     "detect_program",
+    "detect_unit",
     "CorpusReport",
     "ProgramDigest",
+    "UnitDigest",
     "FunctionDigest",
     "ScalarDigest",
     "HistogramDigest",
     "ExtensionDigest",
+    "assemble_program",
     "digest_report",
+    "digest_function",
     "digest_extensions",
+    "report_to_json",
+    "report_from_json",
+    "load_report",
+    "save_report",
 ]

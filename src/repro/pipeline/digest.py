@@ -59,6 +59,122 @@ class FunctionDigest:
     constraint_evals: int
 
 
+#: How each extension idiom's matches digest, in the canonical
+#: grouping order.  This table is the single source of truth for that
+#: order: :func:`digest_extensions` concatenates groups by iterating
+#: it, and function-granularity assembly stable-sorts by the derived
+#: rank — so per-function partial results reproduce the whole-program
+#: order byte-for-byte, including for any idiom added here later.
+_EXTENSION_BUILDERS = {
+    "dot-product": lambda report: tuple(
+        ExtensionDigest("dot-product", m.name)
+        for m in report.dot_products
+    ),
+    "argminmax": lambda report: tuple(
+        ExtensionDigest("argminmax", m.name, detail=m.kind)
+        for m in report.argminmax
+    ),
+    "nested-array-reduction": lambda report: tuple(
+        ExtensionDigest("nested-array-reduction", m.name,
+                        detail=m.op.value)
+        for m in report.nested_array
+    ),
+}
+
+_EXTENSION_RANK = {
+    idiom: rank for rank, idiom in enumerate(_EXTENSION_BUILDERS)
+}
+
+
+@dataclass(frozen=True)
+class UnitDigest:
+    """One work unit's partial detection outcome.
+
+    A unit is either a whole program (``function is None``) or a single
+    ``(program, function)`` pair — the granularity at which the serving
+    engine and function-level sharding ship work.  ``index``/``total``
+    locate the unit among the program's defined functions so
+    :func:`assemble_program` can re-establish module order and detect
+    lost or duplicated units.
+    """
+
+    name: str
+    suite: str
+    function: str | None
+    index: int
+    total: int
+    functions: tuple[FunctionDigest, ...]
+    extended: tuple[ExtensionDigest, ...] = ()
+    icc: int | None = None
+    polly_scops: int | None = None
+    polly_reductions: int | None = None
+    #: Wall-clock per pipeline stage — informational only.
+    stage_seconds: dict = field(default_factory=dict, compare=False,
+                                hash=False)
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.name, self.suite)
+
+
+def assemble_program(units) -> ProgramDigest:
+    """Checked reassembly of one program from its unit digests.
+
+    Units must cover indices ``0..total-1`` exactly once (a whole
+    program is the single unit ``0`` of ``1``).  Functions concatenate
+    in module order; extension matches are stable-sorted back into the
+    idiom grouping a whole-module report produces; per-stage timings
+    sum across units (each worker paid its own compile/detect time) —
+    they are ``compare=False`` metadata, so the merge cannot perturb
+    fingerprints.  Baseline results come from the one unit that ran
+    the program-level stages.
+    """
+    units = sorted(units, key=lambda u: u.index)
+    if not units:
+        raise ValueError("no units to assemble")
+    first = units[0]
+    key = first.key
+    total = first.total
+    if any(u.key != key or u.total != total for u in units):
+        raise ValueError(f"mixed units assembled for program {key}")
+    indices = [u.index for u in units]
+    if indices != list(range(total)) and not (
+        len(units) == 1 and first.function is None
+    ):
+        raise ValueError(
+            f"program {key}: unit indices {indices} do not cover "
+            f"0..{total - 1} exactly once"
+        )
+    functions = tuple(f for u in units for f in u.functions)
+    extended = tuple(
+        sorted(
+            (e for u in units for e in u.extended),
+            key=lambda e: _EXTENSION_RANK.get(e.idiom, len(_EXTENSION_RANK)),
+        )
+    )
+    baseline_units = [u for u in units if u.icc is not None
+                      or u.polly_scops is not None]
+    if len(baseline_units) > 1:
+        raise ValueError(
+            f"program {key}: baselines ran on {len(baseline_units)} units"
+        )
+    lead = baseline_units[0] if baseline_units else None
+    stage_seconds: dict[str, float] = {}
+    for unit in units:
+        for stage, seconds in unit.stage_seconds.items():
+            stage_seconds[stage] = stage_seconds.get(stage, 0.0) + seconds
+    return ProgramDigest(
+        name=first.name,
+        suite=first.suite,
+        functions=functions,
+        extended=extended,
+        icc=lead.icc if lead else None,
+        polly_scops=lead.polly_scops if lead else None,
+        polly_reductions=lead.polly_reductions if lead else None,
+        stage_seconds=stage_seconds,
+    )
+
+
 @dataclass(frozen=True)
 class ProgramDigest:
     """One corpus program's full detection outcome."""
@@ -161,61 +277,178 @@ class CorpusReport:
         )
 
 
-def digest_report(report: DetectionReport) -> tuple[FunctionDigest, ...]:
-    """Reduce a live detection report to its digests."""
-    functions = []
-    for fr in report.functions:
-        functions.append(
-            FunctionDigest(
-                function=fr.function.name,
-                scalars=tuple(
-                    ScalarDigest(
-                        name=s.name,
-                        op=s.op.value,
-                        input_bases=tuple(
-                            b.short_name() for b in s.input_bases
-                        ),
-                    )
-                    for s in fr.scalars
-                ),
-                histograms=tuple(
-                    HistogramDigest(
-                        name=h.name,
-                        op=h.op.value,
-                        idx_affine=h.idx_affine,
-                        input_bases=tuple(
-                            b.short_name() for b in h.input_bases
-                        ),
-                        runtime_checks=tuple(
-                            c.describe() for c in h.runtime_checks
-                        ),
-                    )
-                    for h in fr.histograms
-                ),
-                constraint_evals=(
-                    fr.stats.constraint_evals if fr.stats is not None else 0
+def digest_function(fr) -> FunctionDigest:
+    """Reduce one function's live detections to its digest."""
+    return FunctionDigest(
+        function=fr.function.name,
+        scalars=tuple(
+            ScalarDigest(
+                name=s.name,
+                op=s.op.value,
+                input_bases=tuple(
+                    b.short_name() for b in s.input_bases
                 ),
             )
+            for s in fr.scalars
+        ),
+        histograms=tuple(
+            HistogramDigest(
+                name=h.name,
+                op=h.op.value,
+                idx_affine=h.idx_affine,
+                input_bases=tuple(
+                    b.short_name() for b in h.input_bases
+                ),
+                runtime_checks=tuple(
+                    c.describe() for c in h.runtime_checks
+                ),
+            )
+            for h in fr.histograms
+        ),
+        constraint_evals=(
+            fr.stats.constraint_evals if fr.stats is not None else 0
+        ),
+    )
+
+
+def digest_report(report: DetectionReport) -> tuple[FunctionDigest, ...]:
+    """Reduce a live detection report to its digests."""
+    return tuple(digest_function(fr) for fr in report.functions)
+
+
+def report_to_json(report: CorpusReport) -> dict:
+    """The report as JSON-serializable plain data.
+
+    The inverse of :func:`report_from_json`; round-tripping preserves
+    the fingerprint (and the timing metadata the fingerprint excludes),
+    which is what lets a previous run's recorded costs feed
+    :func:`~repro.pipeline.shard.measured_weights` across process —
+    and machine — boundaries.
+    """
+    return {
+        "jobs": report.jobs,
+        "wall_seconds": report.wall_seconds,
+        "fingerprint": report.fingerprint(),
+        "programs": [
+            {
+                "name": p.name,
+                "suite": p.suite,
+                "functions": [
+                    {
+                        "function": f.function,
+                        "scalars": [
+                            {"name": s.name, "op": s.op,
+                             "input_bases": list(s.input_bases)}
+                            for s in f.scalars
+                        ],
+                        "histograms": [
+                            {"name": h.name, "op": h.op,
+                             "idx_affine": h.idx_affine,
+                             "input_bases": list(h.input_bases),
+                             "runtime_checks": list(h.runtime_checks)}
+                            for h in f.histograms
+                        ],
+                        "constraint_evals": f.constraint_evals,
+                    }
+                    for f in p.functions
+                ],
+                "extended": [
+                    {"idiom": e.idiom, "name": e.name, "detail": e.detail}
+                    for e in p.extended
+                ],
+                "icc": p.icc,
+                "polly_scops": p.polly_scops,
+                "polly_reductions": p.polly_reductions,
+                "stage_seconds": dict(p.stage_seconds),
+            }
+            for p in report.programs
+        ],
+    }
+
+
+def report_from_json(data: dict) -> CorpusReport:
+    """Rebuild a :class:`CorpusReport` from :func:`report_to_json` data.
+
+    The recorded fingerprint, when present, is verified against the
+    rebuilt report — a corrupted or hand-edited costs file fails loudly
+    instead of silently mis-weighting shards.
+    """
+    programs = tuple(
+        ProgramDigest(
+            name=p["name"],
+            suite=p["suite"],
+            functions=tuple(
+                FunctionDigest(
+                    function=f["function"],
+                    scalars=tuple(
+                        ScalarDigest(
+                            name=s["name"], op=s["op"],
+                            input_bases=tuple(s["input_bases"]),
+                        )
+                        for s in f["scalars"]
+                    ),
+                    histograms=tuple(
+                        HistogramDigest(
+                            name=h["name"], op=h["op"],
+                            idx_affine=h["idx_affine"],
+                            input_bases=tuple(h["input_bases"]),
+                            runtime_checks=tuple(h["runtime_checks"]),
+                        )
+                        for h in f["histograms"]
+                    ),
+                    constraint_evals=f["constraint_evals"],
+                )
+                for f in p["functions"]
+            ),
+            extended=tuple(
+                ExtensionDigest(idiom=e["idiom"], name=e["name"],
+                                detail=e.get("detail", ""))
+                for e in p["extended"]
+            ),
+            icc=p["icc"],
+            polly_scops=p["polly_scops"],
+            polly_reductions=p["polly_reductions"],
+            stage_seconds=dict(p.get("stage_seconds", {})),
         )
-    return tuple(functions)
+        for p in data["programs"]
+    )
+    report = CorpusReport(
+        programs=programs,
+        jobs=data.get("jobs", 1),
+        wall_seconds=data.get("wall_seconds", 0.0),
+    )
+    recorded = data.get("fingerprint")
+    if recorded is not None and recorded != report.fingerprint():
+        raise ValueError(
+            "report JSON fingerprint does not match its contents"
+        )
+    return report
+
+
+def load_report(path: str) -> CorpusReport:
+    """Read a :func:`report_to_json` file (``--weights-from``)."""
+    import json
+
+    with open(path) as handle:
+        return report_from_json(json.load(handle))
+
+
+def save_report(report: CorpusReport, path: str) -> None:
+    """Write ``report`` as JSON for later :func:`load_report` use."""
+    import json
+
+    with open(path, "w") as handle:
+        json.dump(report_to_json(report), handle, indent=2)
+        handle.write("\n")
 
 
 def digest_extensions(
     report: ExtendedReport | FunctionExtensions,
 ) -> tuple[ExtensionDigest, ...]:
-    """Reduce extension-idiom matches to their digests."""
-    return (
-        tuple(
-            ExtensionDigest("dot-product", m.name)
-            for m in report.dot_products
-        )
-        + tuple(
-            ExtensionDigest("argminmax", m.name, detail=m.kind)
-            for m in report.argminmax
-        )
-        + tuple(
-            ExtensionDigest("nested-array-reduction", m.name,
-                            detail=m.op.value)
-            for m in report.nested_array
-        )
+    """Reduce extension-idiom matches to their digests, grouped in the
+    canonical ``_EXTENSION_BUILDERS`` order."""
+    return tuple(
+        digest
+        for build in _EXTENSION_BUILDERS.values()
+        for digest in build(report)
     )

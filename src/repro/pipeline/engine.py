@@ -1,25 +1,38 @@
-"""The pipeline driver: shard → map → deterministic merge.
+"""The batch pipeline driver: plan units → shard → map → merge.
 
 :func:`detect_corpus` is the batch entry point the evaluation drivers,
 the CLI (``python -m repro corpus --jobs N``) and the benchmarks use.
 ``jobs=1`` runs the worker in-process; ``jobs>1`` spreads shards over a
-``multiprocessing`` pool.  Both paths execute the *same* worker code on
-the *same* deterministic shards and feed :func:`merge_digests`, which
-reassembles results in canonical corpus order — so a parallel run's
+``multiprocessing`` pool.  Work is planned as
+:class:`~repro.pipeline.shard.WorkUnit`\\ s — whole programs by
+default, ``(program, function)`` pairs at function granularity — and
+every path executes the *same* worker code on the *same* deterministic
+shards before :func:`merge_unit_digests` reassembles canonical corpus
+order, so a parallel (or function-sharded) run's
 :class:`~repro.pipeline.digest.CorpusReport` is identical (same
-fingerprint) to the serial one, only faster.
+fingerprint) to the serial program-granularity one, only faster.
+
+For serving-style traffic — long-lived workers, async submission,
+streaming digests — see :mod:`repro.pipeline.serving`, which reuses
+the planning, worker and merge layers of this module.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
-from .digest import CorpusReport, ProgramDigest
+from .digest import (
+    CorpusReport,
+    ProgramDigest,
+    UnitDigest,
+    assemble_program,
+    load_report,
+)
 from .options import PipelineOptions
-from .shard import make_shards
-from .worker import run_shard
+from .shard import make_shards, measured_weights, plan_units
+from .worker import run_unit_shard
 
 Key = tuple[str, str]
 
@@ -28,7 +41,7 @@ def merge_digests(
     shard_results: Sequence[Sequence[ProgramDigest]],
     keys: Sequence[Key],
 ) -> tuple[ProgramDigest, ...]:
-    """Reduce per-shard digests back into canonical corpus order.
+    """Reduce per-shard program digests back into canonical order.
 
     The merge is *checked*: every requested key must arrive exactly
     once, so a lost or duplicated shard fails loudly instead of
@@ -51,6 +64,69 @@ def merge_digests(
     return tuple(by_key[key] for key in keys)
 
 
+def merge_unit_digests(
+    shard_results: Sequence[Sequence[UnitDigest]],
+    keys: Sequence[Key],
+) -> tuple[ProgramDigest, ...]:
+    """Reassemble unit digests into canonical-order program digests.
+
+    Checked like :func:`merge_digests`, one level deeper: no unit may
+    arrive twice, every requested program must arrive, and each
+    program's units must cover its functions exactly
+    (:func:`~repro.pipeline.digest.assemble_program` verifies the
+    index range) — a shard lost mid-program fails loudly.
+    """
+    by_key: dict[Key, list[UnitDigest]] = {}
+    seen: set[tuple[Key, str | None]] = set()
+    for digests in shard_results:
+        for digest in digests:
+            marker = (digest.key, digest.function)
+            if marker in seen:
+                raise ValueError(f"unit {marker} produced by two shards")
+            seen.add(marker)
+            by_key.setdefault(digest.key, []).append(digest)
+    missing = [key for key in keys if key not in by_key]
+    if missing:
+        raise ValueError(f"shards returned no result for {missing}")
+    unexpected = set(by_key) - set(keys)
+    if unexpected:
+        raise ValueError(f"shards returned unrequested {sorted(unexpected)}")
+    return tuple(assemble_program(by_key[key]) for key in keys)
+
+
+def planned_keys(options: PipelineOptions) -> list[Key]:
+    """The corpus keys a run with ``options`` covers, canonical order.
+
+    Shared by the batch pipeline and the serving engine so the two can
+    never disagree on the key set (the fingerprint-identity contract).
+    """
+    from ..workloads import corpus_keys
+
+    keys = corpus_keys()
+    if options.suites is not None:
+        keys = [key for key in keys if key[1] in options.suites]
+    return keys
+
+
+def resolve_weight_source(
+    options: PipelineOptions,
+    weights: "CorpusReport | Callable | None" = None,
+) -> Callable | None:
+    """The shard-weight callable for a run, or None for the static proxy.
+
+    ``weights`` may be a previous run's :class:`CorpusReport` (its
+    measured costs are used directly) or an arbitrary callable;
+    otherwise ``options.weights_from`` names a report JSON on disk.
+    """
+    if weights is not None:
+        if isinstance(weights, CorpusReport):
+            return measured_weights(weights)
+        return weights
+    if options.weights_from:
+        return measured_weights(load_report(options.weights_from))
+    return None
+
+
 class DetectionPipeline:
     """A configured corpus-detection run."""
 
@@ -61,32 +137,40 @@ class DetectionPipeline:
 
     def keys(self) -> list[Key]:
         """The corpus keys this run covers, in canonical order."""
-        from ..workloads import corpus_keys
+        return planned_keys(self.options)
 
-        keys = corpus_keys()
-        suites = self.options.suites
-        if suites is not None:
-            keys = [key for key in keys if key[1] in suites]
-        return keys
+    def run(
+        self,
+        keys: Sequence[Key] | None = None,
+        weights: "CorpusReport | Callable | None" = None,
+    ) -> CorpusReport:
+        """Execute the pipeline; ``keys`` restricts the program set.
 
-    def run(self, keys: Sequence[Key] | None = None) -> CorpusReport:
-        """Execute the pipeline; ``keys`` restricts the program set."""
+        ``weights`` overrides the shard-cost source (see
+        :func:`resolve_weight_source`); sharding happens in the parent
+        process, so the source never crosses a process boundary.
+        """
         options = self.options
         keys = list(keys) if keys is not None else self.keys()
         started = time.perf_counter()
-        shards = make_shards(keys, options.jobs)
+        units = plan_units(keys, options.granularity,
+                           options.split_threshold)
+        weight = resolve_weight_source(options, weights)
+        shards = make_shards(units, options.jobs, weight=weight)
         if len(shards) <= 1 or options.jobs == 1:
-            shard_results = [run_shard(shard, options) for shard in shards]
+            shard_results = [
+                run_unit_shard(shard, options) for shard in shards
+            ]
         else:
             shard_results = self._run_pool(shards)
-        programs = merge_digests(shard_results, keys)
+        programs = merge_unit_digests(shard_results, keys)
         return CorpusReport(
             programs=programs,
             jobs=options.jobs,
             wall_seconds=time.perf_counter() - started,
         )
 
-    def _run_pool(self, shards: list[list[Key]]):
+    def _run_pool(self, shards):
         options = self.options
         method = options.start_method
         if method is None:
@@ -98,7 +182,7 @@ class DetectionPipeline:
         mp = multiprocessing.get_context(method)
         with mp.Pool(processes=len(shards)) as pool:
             return pool.starmap(
-                run_shard, [(shard, options) for shard in shards]
+                run_unit_shard, [(shard, options) for shard in shards]
             )
 
 
@@ -111,6 +195,10 @@ def detect_corpus(
     shared_cache: bool = True,
     start_method: str | None = None,
     keys: Sequence[Key] | None = None,
+    granularity: str = "program",
+    split_threshold: int = 1,
+    weights_from: str | None = None,
+    weights: "CorpusReport | Callable | None" = None,
 ) -> CorpusReport:
     """Detect reductions across the corpus, optionally in parallel."""
     options = PipelineOptions(
@@ -121,5 +209,8 @@ def detect_corpus(
         spec_files=tuple(spec_files),
         shared_cache=shared_cache,
         start_method=start_method,
+        granularity=granularity,
+        split_threshold=split_threshold,
+        weights_from=weights_from,
     )
-    return DetectionPipeline(options).run(keys=keys)
+    return DetectionPipeline(options).run(keys=keys, weights=weights)

@@ -33,10 +33,29 @@ class PipelineOptions:
     shared_cache: bool = True
     #: multiprocessing start method (None = fork when available).
     start_method: str | None = None
+    #: Work-unit granularity: ``"program"`` ships whole programs,
+    #: ``"function"`` ships ``(program, function)`` units so one giant
+    #: module cannot serialize a run.  Reports are fingerprint-identical
+    #: either way.
+    granularity: str = "program"
+    #: Function granularity only: programs with fewer defined functions
+    #: than this stay whole.
+    split_threshold: int = 1
+    #: Path to a previous run's report JSON
+    #: (:func:`~repro.pipeline.digest.save_report`); its recorded
+    #: ``stage_seconds``/``constraint_evals`` weight the shards
+    #: (measured-cost balancing) instead of the static source-length
+    #: proxy.
+    weights_from: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.granularity not in ("program", "function"):
+            raise ValueError(
+                f"granularity must be 'program' or 'function', "
+                f"got {self.granularity!r}"
+            )
         # Normalize list arguments so options compare/pickle cleanly.
         object.__setattr__(self, "spec_files", tuple(self.spec_files))
         if self.suites is not None:

@@ -1,0 +1,363 @@
+"""Persistent serving engine: long-lived workers, streamed digests.
+
+The batch pipeline (:mod:`repro.pipeline.engine`) spins up a process
+pool per run — the right shape for one corpus sweep, the wrong one for
+serving-style traffic where requests arrive continuously and a pool's
+start-up cost (process spawn, registry build, module compiles) would be
+paid per request.  :class:`ServingEngine` keeps a fixed set of worker
+processes alive across requests:
+
+* **submission is asynchronous** — :meth:`ServingEngine.submit` plans
+  the request into :class:`~repro.pipeline.shard.WorkUnit`\\ s, enqueues
+  them and returns a :class:`ServingJob` immediately; several jobs may
+  be in flight at once, their results routed by job id;
+* **digests stream** — :meth:`ServingJob.stream` yields each program's
+  :class:`~repro.pipeline.digest.ProgramDigest` the moment its last
+  unit completes (completion order), so a consumer renders results
+  while the rest of the corpus is still being served;
+* **workers are warm** — each worker keeps its
+  :class:`~repro.idioms.registry.IdiomRegistry` and a compiled-module
+  cache for the life of the engine, so repeated traffic over the same
+  corpus pays compiles once per worker, not once per request;
+* **function-level sharding** — with
+  ``PipelineOptions(granularity="function")`` a giant module's
+  functions spread over all workers instead of serializing one.
+
+Determinism is preserved exactly as in batch mode:
+:meth:`ServingJob.result` reassembles units through the same checked
+merge, so a serving run's :class:`~repro.pipeline.digest.CorpusReport`
+is fingerprint-identical to ``detect_corpus(jobs=1)`` with the same
+options (property-tested in ``tests/pipeline/test_serving.py``).
+
+Quickstart::
+
+    from repro.pipeline import PipelineOptions, ServingEngine
+
+    with ServingEngine(PipelineOptions(jobs=4, extended=True,
+                                       granularity="function")) as engine:
+        job = engine.submit()                 # whole corpus, async
+        for digest in job.stream():           # completion order
+            print(digest.name, digest.counts())
+        report = job.result()                 # canonical order, checked
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import queue
+import time
+from typing import Callable, Iterator, Sequence
+
+from .digest import CorpusReport, ProgramDigest, UnitDigest, assemble_program
+from .engine import planned_keys, resolve_weight_source
+from .options import PipelineOptions
+from .shard import WorkUnit, lpt_order, plan_units
+from .worker import ModuleCache, _build_registry, detect_unit
+
+Key = tuple[str, str]
+
+
+def serve_worker(task_queue, result_queue, options: PipelineOptions,
+                 stop=None) -> None:
+    """One persistent worker process.
+
+    Pulls ``(job_id, unit)`` tasks until the ``None`` sentinel (or the
+    ``stop`` event is set — draining a queue from the parent races the
+    queue's feeder thread, so shutdown needs a signal workers check
+    themselves), keeping the idiom registry and compiled modules warm
+    across tasks — and across jobs.  Results (or per-unit failures)
+    are pushed back tagged with the job id; a failed unit never kills
+    the worker, so one bad program cannot take down the engine.
+    """
+    registry = _build_registry(options)
+    modules = ModuleCache()
+    while True:
+        task = task_queue.get()
+        if task is None or (stop is not None and stop.is_set()):
+            break
+        job_id, unit = task
+        try:
+            digest = detect_unit(unit, options, registry, modules)
+            result_queue.put((job_id, digest, None))
+        except Exception as exc:  # propagate, don't die
+            result_queue.put(
+                (job_id, unit, f"{type(exc).__name__}: {exc}")
+            )
+
+
+class ServingJob:
+    """One submitted request: a set of corpus keys being served."""
+
+    def __init__(self, engine: "ServingEngine", job_id: int,
+                 keys: list[Key], unit_count: int):
+        self._engine = engine
+        self.job_id = job_id
+        self.keys = keys
+        self._pending_units = unit_count
+        self._by_key: dict[Key, list[UnitDigest]] = {}
+        self._remaining: dict[Key, int] = {}
+        self._failed_keys: set[Key] = set()
+        self._completed: list[ProgramDigest] = []
+        self._streamed = 0
+        self._errors: list[str] = []
+        self._started = time.perf_counter()
+        self._wall: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._pending_units == 0
+
+    # -- engine-side plumbing ------------------------------------------------
+
+    def _expect(self, unit: WorkUnit) -> None:
+        self._remaining[unit.key] = self._remaining.get(unit.key, 0) + 1
+
+    def _deliver(self, digest: UnitDigest) -> None:
+        self._by_key.setdefault(digest.key, []).append(digest)
+        self._pending_units -= 1
+        self._remaining[digest.key] -= 1
+        if (self._remaining[digest.key] == 0
+                and digest.key not in self._failed_keys):
+            self._completed.append(assemble_program(self._by_key[digest.key]))
+        if self._pending_units == 0:
+            self._wall = time.perf_counter() - self._started
+
+    def _fail(self, unit: WorkUnit, message: str) -> None:
+        self._pending_units -= 1
+        self._remaining[unit.key] -= 1
+        self._failed_keys.add(unit.key)
+        self._errors.append(f"{unit.key}/{unit.function or '*'}: {message}")
+        if self._pending_units == 0:
+            self._wall = time.perf_counter() - self._started
+
+    # -- consumer API --------------------------------------------------------
+
+    def stream(self) -> Iterator[ProgramDigest]:
+        """Yield program digests as programs complete.
+
+        Completion order — *not* canonical corpus order; use
+        :meth:`result` for the canonical, fingerprint-stable report.
+        Raises on the first failed unit.
+        """
+        while True:
+            if self._errors:
+                # Unregister: the consumer is done with this job, so
+                # late results for it are dropped by the router instead
+                # of accumulating in a job nobody will drain.  (Queued
+                # units of the job still run to completion — per-job
+                # cancellation is a ROADMAP item.)
+                self._engine._jobs.pop(self.job_id, None)
+                raise RuntimeError(
+                    f"serving job {self.job_id} failed: "
+                    + "; ".join(self._errors)
+                )
+            while self._streamed < len(self._completed):
+                digest = self._completed[self._streamed]
+                self._streamed += 1
+                yield digest
+            if self.done:
+                return
+            self._engine._pump()
+
+    def result(self) -> CorpusReport:
+        """Drain the job and return the canonical-order report.
+
+        Identical (same fingerprint) to a batch ``jobs=1`` run with the
+        same options — the serving engine's determinism contract.
+        """
+        for _ in self.stream():
+            pass
+        by_key = {digest.key: digest for digest in self._completed}
+        missing = [key for key in self.keys if key not in by_key]
+        if missing:
+            raise ValueError(f"serving returned no result for {missing}")
+        return CorpusReport(
+            programs=tuple(by_key[key] for key in self.keys),
+            jobs=self._engine.workers,
+            wall_seconds=self._wall or 0.0,
+        )
+
+
+class ServingEngine:
+    """A persistent detection service over long-lived workers."""
+
+    def __init__(self, options: PipelineOptions | None = None, **kwargs):
+        self.options = (
+            options if options is not None else PipelineOptions(**kwargs)
+        )
+        #: Worker-process count (the options' ``jobs``).
+        self.workers = self.options.jobs
+        self._context = None
+        self._processes: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._stop = None
+        self._jobs: dict[int, ServingJob] = {}
+        self._job_ids = itertools.count()
+        #: The options' weight source, resolved once for the engine's
+        #: lifetime — ``weights_from`` names an immutable report file,
+        #: and a persistent engine must not re-read and re-verify it
+        #: per request.
+        self._weight_source = None
+        self._weight_source_resolved = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._processes)
+
+    def start(self) -> "ServingEngine":
+        """Spawn the worker processes (idempotent)."""
+        if self.running:
+            return self
+        method = self.options.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        self._context = multiprocessing.get_context(method)
+        self._task_queue = self._context.Queue()
+        self._result_queue = self._context.Queue()
+        self._stop = self._context.Event()
+        self._processes = [
+            self._context.Process(
+                target=serve_worker,
+                args=(self._task_queue, self._result_queue, self.options,
+                      self._stop),
+                daemon=True,
+            )
+            for _ in range(self.workers)
+        ]
+        for process in self._processes:
+            process.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the workers (idempotent).
+
+        In-flight jobs are abandoned: the stop event makes each worker
+        exit at its next task (draining the queue from the parent
+        would race the feeder thread, so workers check the event
+        themselves instead of detecting work nobody will read), and
+        any job still pending is marked failed — a later
+        ``stream()``/``result()`` on it raises instead of waiting on
+        queues that no longer exist.
+        """
+        if not self.running:
+            return
+        self._stop.set()
+        for _ in self._processes:
+            self._task_queue.put(None)
+        for process in self._processes:
+            process.join(timeout=30)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join()
+        for job in self._jobs.values():
+            if not job.done:
+                job._errors.append("engine shut down with the job pending")
+                job._pending_units = 0
+        self._jobs.clear()
+        self._processes = []
+        self._task_queue = self._result_queue = None
+        self._stop = self._context = None
+
+    def __enter__(self) -> "ServingEngine":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- submission ----------------------------------------------------------
+
+    def keys(self) -> list[Key]:
+        """The full corpus (restricted by the options' suites)."""
+        return planned_keys(self.options)
+
+    def submit(
+        self,
+        keys: Sequence[Key] | None = None,
+        weights: "CorpusReport | Callable | None" = None,
+    ) -> ServingJob:
+        """Enqueue a request; returns immediately.
+
+        Units are planned and cost-ordered exactly as in batch mode
+        (granularity, measured weights) and fed to the shared task
+        queue heaviest-first, so the pool drains them LPT-style —
+        whichever worker frees up takes the next-heaviest unit.
+        """
+        if not self.running:
+            self.start()
+        keys = list(keys) if keys is not None else self.keys()
+        options = self.options
+        units = plan_units(keys, options.granularity,
+                           options.split_threshold)
+        if weights is not None:
+            weight = resolve_weight_source(options, weights)
+        else:
+            if not self._weight_source_resolved:
+                self._weight_source = resolve_weight_source(options)
+                self._weight_source_resolved = True
+            weight = self._weight_source
+        # LPT service order: heaviest unit first.  With a shared task
+        # queue the *workers* balance load dynamically — whichever
+        # frees up takes the next-heaviest unit — so the weight source
+        # only decides service order.
+        ordered = lpt_order(units, weight)
+        job = ServingJob(self, next(self._job_ids), keys, len(units))
+        self._jobs[job.job_id] = job
+        for unit in ordered:
+            job._expect(unit)
+        for unit in ordered:
+            self._task_queue.put((job.job_id, unit))
+        return job
+
+    def serve(
+        self,
+        keys: Sequence[Key] | None = None,
+        weights: "CorpusReport | Callable | None" = None,
+    ) -> CorpusReport:
+        """Submit and wait: the synchronous convenience wrapper."""
+        return self.submit(keys, weights=weights).result()
+
+    # -- result routing ------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Route one result from the shared queue to its job.
+
+        Polls with a timeout so a crashed worker raises instead of
+        hanging the consumer forever: a unit handed to a worker that
+        died produces no result.  The engine does not track which
+        worker took which unit, so a dead worker is only treated as
+        fatal after a grace period with no results at all — a live
+        worker grinding through a heavy unit must not abort the job
+        just because an idle sibling was killed.  (A dead worker's
+        already-queued results are delivered first — the queue drains
+        before any timeout expires.)
+        """
+        silent_polls = 0
+        while True:
+            try:
+                job_id, payload, error = self._result_queue.get(timeout=5.0)
+                break
+            except queue.Empty:
+                silent_polls += 1
+                dead = not all(p.is_alive() for p in self._processes)
+                if dead and silent_polls >= 6:
+                    raise RuntimeError(
+                        "a serving worker died and no results arrived "
+                        "for 30s; outstanding units may be lost"
+                    ) from None
+        job = self._jobs.get(job_id)
+        if job is None:  # pragma: no cover - abandoned job
+            return
+        if error is not None:
+            job._fail(payload, error)
+        else:
+            job._deliver(payload)
+        if job.done:
+            self._jobs.pop(job_id, None)

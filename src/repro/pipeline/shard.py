@@ -1,17 +1,60 @@
-"""Deterministic corpus sharding.
+"""Deterministic corpus sharding, at program or function granularity.
 
-Work is split *by program* (a program's functions share compiled IR
-and solver caches, so a program is the natural unit), balanced by a
-static cost proxy, and assigned with longest-processing-time-first —
-a pure function of ``(keys, jobs, weights)``, so every run with the
-same inputs produces the same shards regardless of scheduling.
+Work is split into :class:`WorkUnit`\\ s — a whole program, or one
+``(program, function)`` pair for function-granularity runs where a
+single giant program must not serialize the whole run — balanced by a
+cost weight and assigned with longest-processing-time-first.  The
+result is a pure function of ``(items, jobs, weights)``, so every run
+with the same inputs produces the same shards regardless of
+scheduling.
+
+Weights come from one of two sources:
+
+* the **static proxy** — source length for a program, instruction
+  count for a function: cheap, available cold, correlates with
+  detection effort well enough to balance a first run;
+* **measured costs** (:func:`measured_weights`) — the recorded
+  ``stage_seconds`` / ``constraint_evals`` of a previous run's digests,
+  mirroring the cost-aware ``suggest_order``: feed observed effort
+  back in and the shards balance on what detection actually cost, with
+  the static proxy as the cold-start fallback for unseen work.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .digest import CorpusReport
 
 Key = tuple[str, str]
+
+#: Default granularity threshold: programs with at least this many
+#: defined functions are split into per-function units.  1 splits
+#: everything, which maximizes schedulability; the engine exposes it so
+#: callers can keep small programs whole.
+SPLIT_THRESHOLD = 1
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One schedulable piece of corpus work.
+
+    ``function=None`` is a whole program.  Otherwise the unit is one
+    defined function of the program; ``lead`` marks exactly one unit
+    per program as the carrier of the program-level stages (the
+    baseline models run once per program, not once per function).
+    """
+
+    name: str
+    suite: str
+    function: str | None = None
+    lead: bool = True
+
+    @property
+    def key(self) -> Key:
+        return (self.name, self.suite)
 
 
 def default_weight(key: Key) -> int:
@@ -25,34 +68,199 @@ def default_weight(key: Key) -> int:
     return len(program(key[0], key[1]).source)
 
 
-def make_shards(
-    keys: Sequence[Key],
-    jobs: int,
-    weight: Callable[[Key], int] | None = None,
-) -> list[list[Key]]:
-    """Split ``keys`` into at most ``jobs`` balanced, deterministic shards.
+def unit_weight(unit: WorkUnit) -> float:
+    """Static cost proxy for one work unit.
 
-    Greedy LPT: heaviest program first, onto the lightest shard; ties
-    broken by shard index and by the key's position in ``keys`` — no
-    dependence on dict/set iteration or timing.  Within a shard, keys
-    keep their canonical (corpus) order.
+    Whole programs weigh their source length; function units weigh the
+    function's instruction count (from the cached compile — the unit
+    planner already compiled the program to enumerate its functions).
+    """
+    if unit.function is None:
+        return float(default_weight(unit.key))
+    from ..workloads import program
+
+    module = program(unit.name, unit.suite).compile()
+    function = module.get_function(unit.function)
+    return float(1 + sum(1 for _ in function.instructions()))
+
+
+def plan_units(
+    keys: Sequence[Key],
+    granularity: str = "program",
+    split_threshold: int = SPLIT_THRESHOLD,
+) -> list[WorkUnit]:
+    """Expand corpus keys into schedulable work units.
+
+    ``granularity="program"`` maps each key to one whole-program unit.
+    ``granularity="function"`` splits every program with at least
+    ``split_threshold`` defined functions into per-function units (in
+    the module's function order, so merged results are reproducible);
+    the first unit of each program is the ``lead`` that also runs the
+    program-level stages.  Programs below the threshold (or with no
+    defined functions) stay whole.
+    """
+    if granularity not in ("program", "function"):
+        raise ValueError(
+            f"granularity must be 'program' or 'function', "
+            f"got {granularity!r}"
+        )
+    if granularity == "program":
+        return [WorkUnit(name, suite) for name, suite in keys]
+    from ..workloads import program
+
+    units: list[WorkUnit] = []
+    for name, suite in keys:
+        module = program(name, suite).compile()
+        functions = [f.name for f in module.defined_functions()]
+        if len(functions) < max(1, split_threshold):
+            units.append(WorkUnit(name, suite))
+            continue
+        for i, function in enumerate(functions):
+            units.append(
+                WorkUnit(name, suite, function=function, lead=(i == 0))
+            )
+    return units
+
+
+def measured_weights(
+    report: "CorpusReport",
+) -> Callable[[WorkUnit | Key], float]:
+    """A weight source backed by a previous run's measured costs.
+
+    Program-level weights prefer the recorded per-stage wall clock
+    (``ProgramDigest.stage_seconds``, summed); function-level weights
+    are the function's ``constraint_evals`` — the solver effort that
+    dominates the detect stage.  Both are expressed on the *seconds*
+    scale (eval counts are rescaled by the report-wide seconds/eval
+    ratio), so program and function units stay commensurable when a
+    ``split_threshold`` mixes the two in one schedule.  Work absent
+    from the report (new programs, renamed functions) is scheduled at
+    the measured mean, so one cold key cannot unbalance a warm
+    schedule.
+    """
+    program_cost: dict[Key, float] = {}
+    function_cost: dict[tuple[Key, str], float] = {}
+    # Eval counts (thousands) and stage seconds (~0.01) are not
+    # commensurable; everything below is rescaled onto the seconds
+    # scale by the report-wide seconds/eval ratio, so untimed programs
+    # and function units cannot grab a whole shard for themselves
+    # among second-scale peers.
+    timed = [
+        (sum(d.stage_seconds.values()), 1 + d.constraint_evals)
+        for d in report.programs
+        if sum(d.stage_seconds.values()) > 0.0
+    ]
+    timed_seconds = sum(seconds for seconds, _ in timed)
+    timed_evals = sum(evals for _, evals in timed)
+    seconds_per_eval = (
+        timed_seconds / timed_evals if timed_evals and timed_seconds else 1.0
+    )
+    for digest in report.programs:
+        seconds = sum(digest.stage_seconds.values())
+        program_cost[digest.key] = (
+            seconds
+            if seconds > 0.0
+            else (1 + digest.constraint_evals) * seconds_per_eval
+        )
+        for function in digest.functions:
+            function_cost[(digest.key, function.function)] = (
+                (1 + function.constraint_evals) * seconds_per_eval
+            )
+
+    def mean(values) -> float:
+        values = list(values)
+        return sum(values) / len(values) if values else 1.0
+
+    program_mean = mean(program_cost.values())
+    function_mean = mean(function_cost.values())
+
+    def weight(item: WorkUnit | Key) -> float:
+        unit = (
+            item
+            if isinstance(item, WorkUnit)
+            else WorkUnit(item[0], item[1])
+        )
+        if unit.function is not None:
+            measured = function_cost.get((unit.key, unit.function))
+            measured_mean = function_mean
+        else:
+            measured = program_cost.get(unit.key)
+            measured_mean = program_mean
+        if measured is not None:
+            return measured
+        # Cold start for unseen work: a typical measured cost.  The
+        # static proxy's scale (characters, instructions) is not
+        # commensurable with seconds or evals, so scheduling an unseen
+        # unit at the measured mean keeps one cold key from unbalancing
+        # a warm schedule either way.
+        return measured_mean
+
+    return weight
+
+
+def _lpt(
+    items: list, weight: Callable | None
+) -> tuple[list, dict]:
+    """(items heaviest-first, memoized weights) — ties broken by input
+    position, the weight source evaluated exactly once per item."""
+    if weight is None:
+        weight = (
+            unit_weight
+            if items and isinstance(items[0], WorkUnit)
+            else default_weight
+        )
+    weights = {item: weight(item) for item in items}
+    position = {item: i for i, item in enumerate(items)}
+    ordered = sorted(items, key=lambda k: (-weights[k], position[k]))
+    return ordered, weights
+
+
+def lpt_order(
+    items: Sequence[Hashable], weight: Callable | None = None
+) -> list:
+    """``items`` heaviest-first, ties broken by input position.
+
+    The longest-processing-time service order shared by
+    :func:`make_shards` (which deals the result onto shards) and the
+    serving engine (whose workers pull from one queue in this order).
+    The weight source is evaluated exactly once per item.
+    """
+    ordered, _ = _lpt(list(items), weight)
+    return ordered
+
+
+def make_shards(
+    items: Sequence[Hashable],
+    jobs: int,
+    weight: Callable | None = None,
+) -> list[list]:
+    """Split ``items`` into at most ``jobs`` balanced, deterministic shards.
+
+    ``items`` are corpus keys or :class:`WorkUnit`\\ s (any hashable
+    unique items work).  Greedy LPT: heaviest item first, onto the
+    lightest shard; ties broken by shard index and by the item's
+    position in ``items`` — no dependence on dict/set iteration or
+    timing.  Within a shard, items keep their canonical (input) order.
+
+    ``weight`` is evaluated **once per item** per invocation — cost
+    sources may load programs or walk digests, so the memo matters.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    keys = list(keys)
-    if not keys:
+    items = list(items)
+    if not items:
         return []
-    jobs = min(jobs, len(keys))
+    jobs = min(jobs, len(items))
     if jobs == 1:
-        return [keys]
-    weight = weight if weight is not None else default_weight
-    position = {key: i for i, key in enumerate(keys)}
-    loads = [0] * jobs
-    assigned: list[list[Key]] = [[] for _ in range(jobs)]
-    for key in sorted(keys, key=lambda k: (-weight(k), position[k])):
+        return [items]
+    ordered, weights = _lpt(items, weight)
+    position = {item: i for i, item in enumerate(items)}
+    loads = [0.0] * jobs
+    assigned: list[list] = [[] for _ in range(jobs)]
+    for item in ordered:
         target = min(range(jobs), key=lambda i: (loads[i], i))
-        loads[target] += weight(key)
-        assigned[target].append(key)
+        loads[target] += weights[item]
+        assigned[target].append(item)
     for shard in assigned:
         shard.sort(key=lambda k: position[k])
     return [shard for shard in assigned if shard]

@@ -1,10 +1,14 @@
-"""The per-shard detection worker — the pipeline's map stage.
+"""The per-unit detection worker — the pipeline's map stage.
 
-Each worker processes its shard of corpus programs through the staged
+Work arrives as :class:`~repro.pipeline.shard.WorkUnit`\\ s — a whole
+program, or one ``(program, function)`` pair when a large module is
+sharded at function granularity.  Each unit runs through the staged
 engine:
 
-1. **compile** — mini-C source to canonical SSA (fresh per worker;
-   nothing is inherited from the parent, so spawn and fork agree);
+1. **compile** — mini-C source to canonical SSA.  Compiled modules are
+   cached *per worker* (a program split into function units compiles
+   once per worker that touches it, not once per function); nothing is
+   inherited from the parent, so spawn and fork agree;
 2. **detect**  — the core scalar/histogram idioms via
    :func:`~repro.idioms.detect.find_reductions_in_function`, all specs
    of one function sharing that function's
@@ -12,11 +16,18 @@ engine:
    prefix instead of one per spec);
 3. **extend**  — optionally the §8 extension idioms, *reusing the
    stage-2 solver contexts* so they also replay the solved prefix;
-4. **baselines** — optionally the icc and Polly models;
-5. **digest** — reduce everything to process-portable digests.
+4. **baselines** — optionally the icc and Polly models, on the one
+   ``lead`` unit of each program (they analyse whole modules);
+5. **digest** — reduce everything to process-portable
+   :class:`~repro.pipeline.digest.UnitDigest`\\ s.
 
-``run_shard`` is a module-level function so ``multiprocessing`` can
-pickle it under any start method.
+Solver state is per-function (each function gets a fresh
+:class:`~repro.constraints.SolverContext`), so a function's digest —
+search-effort counters included — is identical whether its program ran
+whole in one worker or split across ten.
+
+``run_shard`` / ``run_unit_shard`` are module-level functions so
+``multiprocessing`` can pickle them under any start method.
 """
 
 from __future__ import annotations
@@ -24,8 +35,15 @@ from __future__ import annotations
 import time
 from typing import Sequence
 
-from .digest import ProgramDigest, digest_extensions, digest_report
+from .digest import (
+    ProgramDigest,
+    UnitDigest,
+    assemble_program,
+    digest_extensions,
+    digest_function,
+)
 from .options import PipelineOptions
+from .shard import WorkUnit
 
 
 def _build_registry(options: PipelineOptions):
@@ -37,71 +55,120 @@ def _build_registry(options: PipelineOptions):
     return registry
 
 
-def detect_program(
-    key: tuple[str, str],
+class ModuleCache:
+    """Per-worker compiled-IR cache.
+
+    Function units of one program share the worker-local module (and
+    its compile cost); the first use pays, later units of the same
+    program are free.  Each worker compiles independently — modules
+    hold live IR objects that cannot cross process boundaries.
+    """
+
+    def __init__(self) -> None:
+        self._modules: dict[tuple[str, str], object] = {}
+
+    def module(self, key: tuple[str, str]) -> tuple[object, float]:
+        """(compiled module, seconds this call spent compiling it).
+
+        The seconds are 0.0 on a cache hit — the compile cost is
+        charged to the one unit that triggered it.
+        """
+        from ..workloads import program
+
+        cached = self._modules.get(key)
+        if cached is not None:
+            return cached, 0.0
+        started = time.perf_counter()
+        compiled = program(key[0], key[1]).fresh_module()
+        seconds = time.perf_counter() - started
+        self._modules[key] = compiled
+        return compiled, seconds
+
+
+def _run_baselines(module):
+    from ..baselines import icc, polly
+
+    icc_count = icc.detected_reduction_count(module)
+    polly_report = polly.analyze_module(module)
+    polly_scops, _ = polly_report.counts()
+    return icc_count, polly_scops, len(polly_report.reductions)
+
+
+def detect_unit(
+    unit: WorkUnit,
     options: PipelineOptions,
     registry=None,
-) -> ProgramDigest:
-    """Run one corpus program through every pipeline stage."""
-    from ..idioms.detect import find_reductions_in_function
-    from ..idioms.extensions import ExtendedReport, find_extended_in_function
-    from ..idioms.reports import DetectionReport
-    from ..workloads import program
-
+    modules: ModuleCache | None = None,
+) -> UnitDigest:
+    """Run one work unit through every pipeline stage."""
     registry = registry if registry is not None else _build_registry(options)
-    name, suite_name = key
-    bench = program(name, suite_name)
+    modules = modules if modules is not None else ModuleCache()
     stage_seconds: dict[str, float] = {}
 
-    started = time.perf_counter()
-    module = bench.fresh_module()
-    stage_seconds["compile"] = time.perf_counter() - started
+    module, compile_seconds = modules.module(unit.key)
+    if compile_seconds:
+        stage_seconds["compile"] = compile_seconds
+    defined = list(module.defined_functions())
 
-    started = time.perf_counter()
-    report = DetectionReport(module.name)
-    for function in module.defined_functions():
-        report.functions.append(
-            find_reductions_in_function(
-                function, module, registry=registry,
-                shared_cache=options.shared_cache,
-            )
-        )
-    stage_seconds["detect"] = time.perf_counter() - started
+    if unit.function is None:
+        targets = defined
+        index, total = 0, len(defined)
+    else:
+        names = [f.name for f in defined]
+        try:
+            index = names.index(unit.function)
+        except ValueError:
+            raise KeyError(
+                f"program {unit.key} has no function {unit.function!r}"
+            ) from None
+        targets = [defined[index]]
+        total = len(defined)
 
-    extended = ()
-    if options.extended:
+    from ..idioms.detect import find_reductions_in_function
+
+    functions = []
+    extended: tuple = ()
+    detect_seconds = extend_seconds = 0.0
+    for function in targets:
         started = time.perf_counter()
-        matches = ExtendedReport(module.name)
-        for fr in report.functions:
+        fr = find_reductions_in_function(
+            function, module, registry=registry,
+            shared_cache=options.shared_cache,
+        )
+        detect_seconds += time.perf_counter() - started
+        if options.extended:
+            from ..idioms.extensions import find_extended_in_function
+
             # Reuse the detect stage's context (analyses + solver
             # cache + solved for-loop prefix) and charge the search to
             # the same per-function stats.
-            matches.extend(
-                find_extended_in_function(
-                    fr.function, module, registry=registry,
-                    ctx=fr.solver_context if options.shared_cache else None,
-                    stats=fr.stats,
-                    shared_cache=options.shared_cache,
-                )
+            started = time.perf_counter()
+            matches = find_extended_in_function(
+                fr.function, module, registry=registry,
+                ctx=fr.solver_context if options.shared_cache else None,
+                stats=fr.stats,
+                shared_cache=options.shared_cache,
             )
-        extended = digest_extensions(matches)
-        stage_seconds["extend"] = time.perf_counter() - started
+            extended = extended + digest_extensions(matches)
+            extend_seconds += time.perf_counter() - started
+        functions.append(digest_function(fr))
+    stage_seconds["detect"] = detect_seconds
+    if options.extended:
+        stage_seconds["extend"] = extend_seconds
 
     icc_count = polly_scops = polly_reductions = None
-    if options.baselines:
-        from ..baselines import icc, polly
-
+    if options.baselines and unit.lead:
         started = time.perf_counter()
-        icc_count = icc.detected_reduction_count(module)
-        polly_report = polly.analyze_module(module)
-        polly_scops, _ = polly_report.counts()
-        polly_reductions = len(polly_report.reductions)
+        icc_count, polly_scops, polly_reductions = _run_baselines(module)
         stage_seconds["baselines"] = time.perf_counter() - started
 
-    return ProgramDigest(
-        name=name,
-        suite=suite_name,
-        functions=digest_report(report),
+    return UnitDigest(
+        name=unit.name,
+        suite=unit.suite,
+        function=unit.function,
+        index=index,
+        total=total,
+        functions=tuple(functions),
         extended=extended,
         icc=icc_count,
         polly_scops=polly_scops,
@@ -110,9 +177,34 @@ def detect_program(
     )
 
 
+def detect_program(
+    key: tuple[str, str],
+    options: PipelineOptions,
+    registry=None,
+) -> ProgramDigest:
+    """Run one corpus program through every pipeline stage."""
+    unit = WorkUnit(key[0], key[1])
+    return assemble_program([detect_unit(unit, options, registry)])
+
+
+def run_unit_shard(
+    shard: Sequence[WorkUnit], options: PipelineOptions
+) -> list[UnitDigest]:
+    """Process one shard of work units; registry and compiled modules
+    are built once per shard."""
+    registry = _build_registry(options)
+    modules = ModuleCache()
+    return [
+        detect_unit(unit, options, registry, modules) for unit in shard
+    ]
+
+
 def run_shard(
     shard: Sequence[tuple[str, str]], options: PipelineOptions
 ) -> list[ProgramDigest]:
-    """Process one shard of corpus keys; the registry is built once."""
-    registry = _build_registry(options)
-    return [detect_program(key, options, registry) for key in shard]
+    """Process one shard of corpus keys (program granularity)."""
+    units = [WorkUnit(name, suite) for name, suite in shard]
+    return [
+        assemble_program([unit_digest])
+        for unit_digest in run_unit_shard(units, options)
+    ]

@@ -123,17 +123,55 @@ def test_cost_aware_suggest_order_preserves_solution_set(idiom):
 
 
 def test_cost_aware_suggest_order_reacts_to_observed_cost():
-    """A label observed to produce huge candidate lists is deferred
-    within its proposability tier — the runtime feedback, not just the
-    static score, decides."""
+    """Among measured continuations at the same bound prefix, the one
+    with the smaller mean candidate list wins — the runtime feedback,
+    not just the static score, decides."""
     spec = for_loop_spec()
     static = suggest_order(spec)
     feedback = SolverStats()
-    feedback.candidates_per_label = {static[0]: 10 ** 6}
+    feedback.candidates_per_prefix = {
+        (static[0], frozenset()): (1, 10 ** 6),
+        (static[1], frozenset()): (1, 3),
+    }
     cost_aware = suggest_order(spec, feedback=feedback)
     assert sorted(cost_aware) == sorted(spec.label_order)
     assert cost_aware != static
-    assert cost_aware[0] != static[0]
+    assert cost_aware[0] == static[1]
+
+
+def test_cost_aware_suggest_order_replays_the_observed_order():
+    """Feedback conditioned on the bound prefix never trades measured
+    territory for unmeasured territory: stats from a run of some order
+    reproduce that order, so feedback is never worse than the run that
+    produced it."""
+    spec = for_loop_spec()
+    for observed_order in (
+        spec.label_order,
+        tuple(reversed(spec.label_order)),
+    ):
+        reordered = spec.reordered(observed_order)
+        for ctx in contexts_for(CORPUS["scalar-sum"]):
+            feedback = SolverStats()
+            detect(ctx, reordered, stats=feedback)
+            assert suggest_order(spec, feedback=feedback) == observed_order
+
+
+def test_solver_stats_merge_accumulates_counters():
+    spec = for_loop_spec()
+    ctx = contexts_for(CORPUS["scalar-sum"])[0]
+    a, b = SolverStats(), SolverStats()
+    detect(ctx, spec, stats=a)
+    detect(ctx, spec.reordered(suggest_order(spec)), stats=b)
+    merged = SolverStats().merge(a).merge(b)
+    assert merged.constraint_evals == a.constraint_evals + b.constraint_evals
+    assert merged.assignments_tried == (
+        a.assignments_tried + b.assignments_tried
+    )
+    for key, (visits, total) in a.candidates_per_prefix.items():
+        b_visits, b_total = b.candidates_per_prefix.get(key, (0, 0))
+        assert merged.candidates_per_prefix[key] == (
+            visits + b_visits, total + b_total
+        )
 
 
 def test_suggest_order_without_feedback_is_static():

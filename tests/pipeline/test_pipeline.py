@@ -14,12 +14,22 @@ from hypothesis import strategies as st
 from repro.idioms import find_extended_reductions, find_reductions
 from repro.pipeline import (
     PipelineOptions,
+    WorkUnit,
+    assemble_program,
     detect_corpus,
+    detect_unit,
     digest_extensions,
     digest_report,
     make_shards,
+    measured_weights,
     merge_digests,
+    merge_unit_digests,
+    plan_units,
+    report_from_json,
+    report_to_json,
     run_shard,
+    run_unit_shard,
+    unit_weight,
 )
 from repro.workloads import corpus_keys, program
 
@@ -53,6 +63,202 @@ def test_make_shards_preserves_canonical_order_within_shards():
 def test_make_shards_rejects_bad_jobs():
     with pytest.raises(ValueError):
         make_shards(KEYS, 0)
+
+
+def test_make_shards_evaluates_weight_once_per_key():
+    """The weight source may load programs or walk digests, so
+    ``make_shards`` must memoize it — one call per key per invocation
+    (the PR-2 engine called it twice: in the sort key and again when
+    accumulating loads)."""
+    calls = []
+
+    def counting_weight(key):
+        calls.append(key)
+        return len(key[0])
+
+    make_shards(KEYS, 4, weight=counting_weight)
+    assert sorted(calls) == sorted(KEYS)
+
+
+# -- work units and weights ---------------------------------------------------
+
+
+def test_plan_units_program_granularity_is_one_unit_per_key():
+    units = plan_units(KEYS, "program")
+    assert [u.key for u in units] == KEYS
+    assert all(u.function is None and u.lead for u in units)
+
+
+def test_plan_units_function_granularity_covers_every_function():
+    units = plan_units(KEYS, "function")
+    assert len(units) > len(KEYS)
+    by_key = {}
+    for unit in units:
+        by_key.setdefault(unit.key, []).append(unit)
+    for key, key_units in by_key.items():
+        module = program(*key).compile()
+        defined = [f.name for f in module.defined_functions()]
+        if len(key_units) == 1 and key_units[0].function is None:
+            continue  # below threshold, stays whole
+        assert [u.function for u in key_units] == defined
+        # Exactly one lead unit per program carries the baselines.
+        assert [u.lead for u in key_units].count(True) == 1
+        assert key_units[0].lead
+
+
+def test_plan_units_split_threshold_keeps_small_programs_whole():
+    units = plan_units(KEYS, "function", split_threshold=10 ** 6)
+    assert [u.key for u in units] == KEYS
+    assert all(u.function is None for u in units)
+
+
+def test_plan_units_rejects_unknown_granularity():
+    with pytest.raises(ValueError, match="granularity"):
+        plan_units(KEYS, "module")
+
+
+def test_unit_weight_static_proxies():
+    whole = WorkUnit(*KEYS[0])
+    assert unit_weight(whole) == len(program(*KEYS[0]).source)
+    units = plan_units(KEYS[:1], "function")
+    if units[0].function is not None:
+        assert all(unit_weight(u) > 0 for u in units)
+
+
+def test_measured_weights_prefer_recorded_costs():
+    report = detect_corpus(jobs=1, keys=KEYS[:3])
+    weight = measured_weights(report)
+    seconds = sum(sum(p.stage_seconds.values()) for p in report.programs)
+    evals = sum(1 + p.constraint_evals for p in report.programs)
+    for digest in report.programs:
+        assert weight(digest.key) == pytest.approx(
+            sum(digest.stage_seconds.values())
+        )
+        for f in digest.functions:
+            unit = WorkUnit(digest.name, digest.suite, function=f.function)
+            # Function weights are evals rescaled onto the seconds
+            # scale, so program and function units stay commensurable.
+            assert weight(unit) == pytest.approx(
+                (1 + f.constraint_evals) * seconds / evals
+            )
+    # Unseen work is scheduled at the measured mean — deterministic,
+    # commensurable with the warm entries.
+    unseen = weight(("no-such-program", "NAS"))
+    costs = [sum(p.stage_seconds.values()) for p in report.programs]
+    assert unseen == pytest.approx(sum(costs) / len(costs))
+
+
+def test_measured_weights_rescale_untimed_programs():
+    """A program whose digest carries no timings is weighted by its
+    constraint evals rescaled into the seconds scale — not by a raw
+    eval count thousands of times its peers' weights."""
+    report = detect_corpus(jobs=1, keys=KEYS[:3])
+    stripped = report.programs[0]
+    untimed = stripped.__class__(
+        name=stripped.name, suite=stripped.suite,
+        functions=stripped.functions, extended=stripped.extended,
+        icc=stripped.icc, polly_scops=stripped.polly_scops,
+        polly_reductions=stripped.polly_reductions, stage_seconds={},
+    )
+    doctored = report.__class__(
+        programs=(untimed,) + report.programs[1:]
+    )
+    weight = measured_weights(doctored)
+    timed_weights = [weight(p.key) for p in report.programs[1:]]
+    assert weight(untimed.key) < 100 * max(timed_weights)
+
+
+# -- unit digests and assembly ------------------------------------------------
+
+
+def test_function_units_assemble_to_the_program_digest():
+    """Per-function unit digests reassemble byte-for-byte into the
+    whole-program digest — functions in module order, extension matches
+    regrouped, baselines from the lead unit."""
+    options = PipelineOptions(extended=True, baselines=True)
+    for key in [("EP", "NAS"), ("histo", "Parboil"), ("kmeans", "Rodinia")]:
+        whole = run_shard([key], options)[0]
+        units = plan_units([key], "function")
+        unit_digests = run_unit_shard(units, options)
+        assembled = assemble_program(unit_digests)
+        assert assembled == whole
+        assert assembled.stage_seconds.keys() >= {"detect"}
+
+
+def test_assemble_program_rejects_incomplete_and_mixed_units():
+    options = PipelineOptions()
+    units = plan_units([("EP", "NAS")], "function")
+    digests = run_unit_shard(units, options)
+    if len(digests) > 1:
+        with pytest.raises(ValueError, match="exactly once"):
+            assemble_program(digests[:-1])
+        with pytest.raises(ValueError, match="exactly once"):
+            assemble_program(digests + [digests[0]])
+    other = run_unit_shard(plan_units([("IS", "NAS")], "function"),
+                           options)
+    with pytest.raises(ValueError, match="mixed"):
+        assemble_program([digests[0], other[0]])
+    with pytest.raises(ValueError, match="no units"):
+        assemble_program([])
+
+
+def test_merge_unit_digests_checks_duplicates_and_coverage():
+    options = PipelineOptions()
+    units = plan_units(KEYS[:2], "function")
+    digests = run_unit_shard(units, options)
+    merged = merge_unit_digests([digests], KEYS[:2])
+    assert [d.key for d in merged] == KEYS[:2]
+    with pytest.raises(ValueError, match="two shards"):
+        merge_unit_digests([digests, digests], KEYS[:2])
+    with pytest.raises(ValueError, match="no result"):
+        merge_unit_digests([digests], KEYS[:3])
+    with pytest.raises(ValueError, match="unrequested"):
+        merge_unit_digests([digests], KEYS[:1])
+
+
+def test_stage_seconds_sum_across_assembled_units():
+    """Timing metadata survives the checked merge — summed per stage —
+    without perturbing digest equality (satellite audit)."""
+    options = PipelineOptions()
+    units = plan_units([("EP", "NAS")], "function")
+    digests = run_unit_shard(units, options)
+    assembled = assemble_program(digests)
+    for stage in ("compile", "detect"):
+        expected = sum(d.stage_seconds.get(stage, 0.0) for d in digests)
+        assert assembled.stage_seconds.get(stage, 0.0) == pytest.approx(
+            expected
+        )
+    # compare=False: a digest with different timings is still equal.
+    bare = assembled.__class__(
+        name=assembled.name, suite=assembled.suite,
+        functions=assembled.functions, extended=assembled.extended,
+        icc=assembled.icc, polly_scops=assembled.polly_scops,
+        polly_reductions=assembled.polly_reductions, stage_seconds={},
+    )
+    assert bare == assembled
+
+
+# -- JSON round trip ----------------------------------------------------------
+
+
+def test_report_json_round_trip_preserves_fingerprint():
+    report = detect_corpus(jobs=1, extended=True, baselines=True,
+                           keys=KEYS[:4])
+    data = report_to_json(report)
+    rebuilt = report_from_json(data)
+    assert rebuilt.programs == report.programs
+    assert rebuilt.fingerprint() == report.fingerprint()
+    # Timing metadata (excluded from the fingerprint) survives too.
+    for original, copied in zip(report.programs, rebuilt.programs):
+        assert copied.stage_seconds == original.stage_seconds
+
+
+def test_report_json_rejects_tampered_contents():
+    report = detect_corpus(jobs=1, keys=KEYS[:2])
+    data = report_to_json(report)
+    data["programs"][0]["functions"] = []
+    with pytest.raises(ValueError, match="fingerprint"):
+        report_from_json(data)
 
 
 # -- merge --------------------------------------------------------------------

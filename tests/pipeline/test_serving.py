@@ -1,0 +1,214 @@
+"""Tests for the persistent serving engine and function-level sharding.
+
+The serving contract extends the batch pipeline's determinism
+contract: a report served by the persistent worker pool — at any
+granularity, over any subset, with warm or cold workers — must be
+fingerprint-identical to the serial batch run with the same options.
+"""
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline import (
+    PipelineOptions,
+    ServingEngine,
+    detect_corpus,
+    measured_weights,
+)
+from repro.workloads import corpus_keys
+
+KEYS = corpus_keys()
+
+SERIAL = None
+
+
+def serial_report():
+    """The jobs=1 program-granularity reference, computed once."""
+    global SERIAL
+    if SERIAL is None:
+        SERIAL = detect_corpus(jobs=1, extended=True, baselines=True)
+    return SERIAL
+
+
+# -- function granularity ≡ program granularity -------------------------------
+
+
+def test_function_granularity_reproduces_program_fingerprint():
+    """The acceptance criterion: function-level shards merge to a
+    report byte-identical to program-level shards, serial or sharded."""
+    serial = serial_report()
+    for jobs in (1, 3):
+        report = detect_corpus(jobs=jobs, extended=True, baselines=True,
+                               granularity="function")
+        assert report.programs == serial.programs
+        assert report.fingerprint() == serial.fingerprint()
+
+
+def test_measured_weights_reproduce_the_fingerprint():
+    """Measured-cost sharding changes the schedule, never the report."""
+    serial = serial_report()
+    report = detect_corpus(jobs=3, extended=True, baselines=True,
+                           granularity="function", weights=serial)
+    assert report.fingerprint() == serial.fingerprint()
+
+
+@settings(max_examples=4, deadline=None)
+@given(data=st.data())
+def test_any_granularity_jobs_and_subset_is_deterministic(data):
+    """Property form: any jobs, any subset, any granularity produce
+    the serial report exactly."""
+    keys = data.draw(
+        st.lists(st.sampled_from(KEYS), min_size=1, max_size=5,
+                 unique=True),
+        label="keys",
+    )
+    keys.sort(key=KEYS.index)
+    jobs = data.draw(st.integers(min_value=2, max_value=6), label="jobs")
+    granularity = data.draw(
+        st.sampled_from(["program", "function"]), label="granularity"
+    )
+    serial = detect_corpus(jobs=1, keys=keys)
+    sharded = detect_corpus(jobs=jobs, keys=keys, granularity=granularity)
+    assert sharded.programs == serial.programs
+    assert sharded.fingerprint() == serial.fingerprint()
+
+
+# -- serving engine -----------------------------------------------------------
+
+
+def test_served_report_is_fingerprint_identical_to_batch():
+    serial = serial_report()
+    options = PipelineOptions(jobs=3, extended=True, baselines=True,
+                              granularity="function")
+    with ServingEngine(options) as engine:
+        report = engine.serve()
+    assert report.programs == serial.programs
+    assert report.fingerprint() == serial.fingerprint()
+
+
+def test_streaming_yields_every_program_once():
+    options = PipelineOptions(jobs=2, granularity="function")
+    keys = KEYS[:6]
+    with ServingEngine(options) as engine:
+        job = engine.submit(keys)
+        streamed = [digest.key for digest in job.stream()]
+    # Completion order is arbitrary; coverage is exact.
+    assert sorted(streamed) == sorted(keys)
+    assert job.done
+
+
+def test_warm_workers_serve_repeated_requests_identically():
+    """The persistent pool's point: the second request reuses live
+    workers (compiled modules, registries) and still matches."""
+    options = PipelineOptions(jobs=2, extended=True,
+                              granularity="function")
+    with ServingEngine(options) as engine:
+        first = engine.serve()
+        second = engine.serve()
+    assert first.programs == second.programs
+    assert first.fingerprint() == second.fingerprint()
+    assert first.fingerprint() == detect_corpus(
+        jobs=1, extended=True
+    ).fingerprint()
+
+
+def test_interleaved_jobs_route_results_by_id():
+    """Two jobs in flight at once: results are routed by job id, and
+    each job's report covers exactly its own keys."""
+    options = PipelineOptions(jobs=2, granularity="function")
+    with ServingEngine(options) as engine:
+        job_a = engine.submit(KEYS[:3])
+        job_b = engine.submit(KEYS[3:5])
+        report_b = job_b.result()
+        report_a = job_a.result()
+    assert [d.key for d in report_a.programs] == KEYS[:3]
+    assert [d.key for d in report_b.programs] == KEYS[3:5]
+    serial = detect_corpus(jobs=1, keys=KEYS[:5])
+    assert (report_a.programs + report_b.programs) == serial.programs
+
+
+def test_serving_with_measured_weights_orders_heavy_first():
+    serial = serial_report()
+    options = PipelineOptions(jobs=2, extended=True, baselines=True,
+                              granularity="function")
+    with ServingEngine(options) as engine:
+        report = engine.serve(weights=serial)
+    assert report.fingerprint() == serial.fingerprint()
+
+
+def test_failed_unit_raises_on_stream_not_in_the_worker():
+    options = PipelineOptions(jobs=2)
+    with ServingEngine(options) as engine:
+        # Constant weights: the parent ships the unit without looking
+        # the program up, so the *worker* hits the failure.
+        job = engine.submit([("no-such-program", "NAS")],
+                            weights=lambda unit: 1.0)
+        with pytest.raises(RuntimeError, match="no-such-program"):
+            job.result()
+        # The pool survives a failed unit and serves the next request.
+        report = engine.serve(KEYS[:2])
+    assert report.fingerprint() == detect_corpus(
+        jobs=1, keys=KEYS[:2]
+    ).fingerprint()
+
+
+def test_shutdown_fails_pending_jobs_instead_of_hanging():
+    """A job abandoned by shutdown raises from stream()/result() —
+    it must never wait on queues that no longer exist."""
+    options = PipelineOptions(jobs=2, granularity="function")
+    engine = ServingEngine(options)
+    job = engine.submit(KEYS[:4])
+    engine.shutdown()
+    with pytest.raises(RuntimeError, match="shut down"):
+        job.result()
+    # The engine itself restarts cleanly afterwards.
+    with engine:
+        report = engine.serve(KEYS[:2])
+    assert len(report.programs) == 2
+
+
+def test_engine_restarts_after_shutdown():
+    options = PipelineOptions(jobs=2)
+    engine = ServingEngine(options)
+    engine.start()
+    assert engine.running
+    engine.shutdown()
+    assert not engine.running
+    engine.shutdown()  # idempotent
+    with engine:
+        report = engine.serve(KEYS[:2])
+    assert not engine.running
+    assert len(report.programs) == 2
+
+
+# -- start methods ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", sorted(
+    set(multiprocessing.get_all_start_methods()) & {"fork", "spawn"}
+))
+def test_batch_start_methods_agree(method):
+    """fork and spawn workers produce the same report — workers inherit
+    nothing from the parent they depend on."""
+    serial = detect_corpus(jobs=1, keys=KEYS[:3])
+    sharded = detect_corpus(jobs=2, keys=KEYS[:3],
+                            granularity="function",
+                            start_method=method)
+    assert sharded.programs == serial.programs
+    assert sharded.fingerprint() == serial.fingerprint()
+
+
+@pytest.mark.parametrize("method", sorted(
+    set(multiprocessing.get_all_start_methods()) & {"fork", "spawn"}
+))
+def test_serving_start_methods_agree(method):
+    options = PipelineOptions(jobs=2, granularity="function",
+                              start_method=method)
+    with ServingEngine(options) as engine:
+        report = engine.serve(KEYS[:3])
+    assert report.fingerprint() == detect_corpus(
+        jobs=1, keys=KEYS[:3]
+    ).fingerprint()
