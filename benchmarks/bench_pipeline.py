@@ -20,6 +20,10 @@ recorded in ``results/BENCH_serving.json``:
 
 * the persistent engine's served report is **fingerprint-identical**
   to the ``jobs=1`` batch run, cold and warm;
+* an ``INTERACTIVE`` submit **overtakes** a queued full-corpus
+  ``BATCH`` job (weighted-fair dequeue): at interactive completion the
+  batch job must still have pending units, and both reports stay
+  fingerprint-identical to batch mode;
 * sharding on **measured costs** (the recorded ``stage_seconds`` of a
   stabilized profiling pass) yields a **lower per-worker wall-clock
   makespan** than the static source-length proxy.  The makespan is
@@ -38,6 +42,7 @@ from conftest import write_artifact
 from repro.evaluation.render import table
 from repro.pipeline import (
     CorpusReport,
+    JobClass,
     PipelineOptions,
     ProgramDigest,
     ServingEngine,
@@ -198,6 +203,22 @@ def test_serving_engine_and_measured_weights():
         started = time.perf_counter()
         warm = engine.serve()
         warm_wall = time.perf_counter() - started
+
+        # -- priority classes: an interactive submit overtakes a deep
+        # batch backlog (weighted-fair dequeue), without changing
+        # either report.
+        keys = engine.keys()
+        batch_job = engine.submit(priority=JobClass.BATCH)
+        batch_units = batch_job._pending_units
+        started = time.perf_counter()
+        interactive_job = engine.submit(keys[:2],
+                                        priority=JobClass.INTERACTIVE)
+        interactive_report = interactive_job.result()
+        interactive_wall = time.perf_counter() - started
+        overtaken = batch_job._pending_units
+        assert overtaken > 0  # the batch backlog was overtaken
+        assert batch_job.result().fingerprint() == batch.fingerprint()
+        assert interactive_report.programs == batch.programs[:2]
     assert cold.fingerprint() == batch.fingerprint()
     assert warm.fingerprint() == batch.fingerprint()
     assert cold.programs == batch.programs
@@ -248,6 +269,13 @@ def test_serving_engine_and_measured_weights():
             "cold_wall_seconds": round(cold_wall, 4),
             "warm_wall_seconds": round(warm_wall, 4),
             "fingerprint_identical_to_batch": True,
+        },
+        "priority": {
+            "batch_units_submitted": batch_units,
+            "batch_units_pending_at_interactive_completion": overtaken,
+            "interactive_programs": 2,
+            "interactive_wall_seconds": round(interactive_wall, 4),
+            "fingerprints_unchanged": True,
         },
         "measured_vs_static": {
             "profile_rounds": PROFILE_ROUNDS,

@@ -33,7 +33,12 @@ Commands
     Run the same corpus through the **persistent serving engine**:
     long-lived workers, async submission, per-program digests streamed
     as they complete.  ``--requests N`` submits the corpus N times
-    (the warm-worker path); ``--check`` verifies the served report is
+    (the warm-worker path); ``--priority interactive|batch`` picks the
+    scheduling class (interactive units overtake queued batch units);
+    ``--max-tasks-per-worker N`` recycles each worker after N units;
+    ``--cancel-after N`` cancels the *first* request after N streamed
+    digests (later requests must — and do — still complete, the
+    cancellation smoke); ``--check`` verifies the served report is
     fingerprint-identical to a serial batch run and exits non-zero on
     mismatch.
 """
@@ -208,7 +213,12 @@ def _cmd_corpus(args) -> int:
 
 
 def _cmd_serve(args) -> int:
-    from .pipeline import PipelineOptions, ServingEngine, save_report
+    from .pipeline import (
+        JobCancelled,
+        PipelineOptions,
+        ServingEngine,
+        save_report,
+    )
 
     if args.requests < 1:
         print("error: --requests must be >= 1", file=sys.stderr)
@@ -216,27 +226,65 @@ def _cmd_serve(args) -> int:
     if args.jobs < 1:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if args.cancel_after is not None and args.cancel_after < 1:
+        print("error: --cancel-after must be >= 1", file=sys.stderr)
+        return 2
+    if (args.max_tasks_per_worker is not None
+            and args.max_tasks_per_worker < 1):
+        print("error: --max-tasks-per-worker must be >= 1",
+              file=sys.stderr)
+        return 2
     options = PipelineOptions(
         jobs=args.jobs,
         extended=args.extended,
         baselines=args.baselines,
         granularity=args.granularity,
         weights_from=args.weights_from,
+        max_tasks_per_worker=args.max_tasks_per_worker,
     )
     report = None
     with ServingEngine(options) as engine:
         for request in range(args.requests):
-            job = engine.submit()
+            job = engine.submit(priority=args.priority)
             print(f"request {request + 1}/{args.requests}: "
                   f"{len(job.keys)} program(s) submitted to "
-                  f"{engine.workers} persistent worker(s)")
-            for digest in job.stream():
-                scalars, histograms = digest.counts()
-                print(f"  {digest.suite}/{digest.name}: {scalars} scalar, "
-                      f"{histograms} histogram, "
-                      f"{digest.constraint_evals} evals")
+                  f"{engine.workers} persistent worker(s) "
+                  f"[{job.priority.value}]")
+            cancel_this = args.cancel_after is not None and request == 0
+            streamed = 0
+            try:
+                for digest in job.stream():
+                    streamed += 1
+                    scalars, histograms = digest.counts()
+                    print(f"  {digest.suite}/{digest.name}: "
+                          f"{scalars} scalar, "
+                          f"{histograms} histogram, "
+                          f"{digest.constraint_evals} evals")
+                    if cancel_this and streamed >= args.cancel_after:
+                        drained = job.cancel()
+                        print(f"request {request + 1}: cancelled after "
+                              f"{streamed} digest(s), {drained} queued "
+                              f"unit(s) drained")
+            except JobCancelled:
+                continue  # later requests prove the pool is unpoisoned
+            if job.cancelled:
+                # cancel() landed exactly as the job completed: the
+                # stream ended normally, but result() would raise.
+                continue
             report = job.result()
+            if report.failures:
+                for failure in report.failures:
+                    print(f"  FAILED {failure.describe()}",
+                          file=sys.stderr)
             print(f"request {request + 1}: {report.summary()}")
+        if engine.worker_deaths or engine.recycled:
+            print(f"workers: {engine.worker_deaths} death(s), "
+                  f"{engine.resubmissions} resubmission(s), "
+                  f"{engine.recycled} recycle(s)")
+    if report is None:
+        print("error: every request was cancelled; nothing to report",
+              file=sys.stderr)
+        return 2
     if args.save_report:
         save_report(report, args.save_report)
         print(f"report saved to {args.save_report}")
@@ -318,6 +366,18 @@ def main(argv: list[str] | None = None) -> int:
                            choices=("program", "function"),
                            default="function",
                            help="work-unit granularity (default: function)")
+    serve_cmd.add_argument("--priority",
+                           choices=("interactive", "batch"),
+                           default="batch",
+                           help="scheduling class for the submits "
+                                "(interactive overtakes queued batch)")
+    serve_cmd.add_argument("--max-tasks-per-worker", type=int,
+                           default=None, metavar="N",
+                           help="recycle each worker after N units")
+    serve_cmd.add_argument("--cancel-after", type=int, default=None,
+                           metavar="N",
+                           help="cancel the first request after N "
+                                "streamed digests (cancellation smoke)")
     serve_cmd.add_argument("--weights-from", metavar="REPORT.json",
                            default=None,
                            help="serve heaviest measured units first")

@@ -16,7 +16,11 @@ staged, batched detection engine that
   back into canonical corpus order (:mod:`repro.pipeline.engine`),
 * serves continuous traffic through a **persistent engine** —
   long-lived warm workers, async submission, streamed per-program
-  digests (:mod:`repro.pipeline.serving`), and
+  digests, weighted-fair **priority scheduling** (interactive vs
+  batch job classes), per-job **cancellation**, and **fault
+  tolerance**: heartbeat liveness, worker recycling, and bounded
+  resubmission of units lost to killed workers
+  (:mod:`repro.pipeline.serving`), and
 * reports everything as process-portable **digests** whose fingerprint
   is byte-identical between ``jobs=1``, ``jobs=N``, function-sharded
   and served runs (:mod:`repro.pipeline.digest`).
@@ -44,6 +48,7 @@ from .digest import (
     ProgramDigest,
     ScalarDigest,
     UnitDigest,
+    UnitFailure,
     assemble_program,
     digest_extensions,
     digest_function,
@@ -60,7 +65,14 @@ from .engine import (
     merge_unit_digests,
 )
 from .options import PipelineOptions
-from .serving import ServingEngine, ServingJob, serve_worker
+from .serving import (
+    JobCancelled,
+    JobClass,
+    PriorityScheduler,
+    ServingEngine,
+    ServingJob,
+    serve_worker,
+)
 from .shard import (
     WorkUnit,
     lpt_order,
@@ -76,6 +88,9 @@ __all__ = [
     "DetectionPipeline",
     "ServingEngine",
     "ServingJob",
+    "JobClass",
+    "JobCancelled",
+    "PriorityScheduler",
     "serve_worker",
     "detect_corpus",
     "merge_digests",
@@ -93,6 +108,7 @@ __all__ = [
     "CorpusReport",
     "ProgramDigest",
     "UnitDigest",
+    "UnitFailure",
     "FunctionDigest",
     "ScalarDigest",
     "HistogramDigest",

@@ -208,6 +208,33 @@ class ProgramDigest:
 
 
 @dataclass(frozen=True)
+class UnitFailure:
+    """One work unit the serving engine could not complete.
+
+    Recorded on :attr:`CorpusReport.failures` when a unit's worker
+    died (and the unit exhausted its resubmission budget) — the
+    structured alternative to a hung or aborted job.  ``attempts``
+    counts every dispatch, the original included.
+    """
+
+    name: str
+    suite: str
+    function: str | None
+    error: str
+    attempts: int
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.name, self.suite)
+
+    def describe(self) -> str:
+        return (
+            f"{self.suite}/{self.name}/{self.function or '*'}: "
+            f"{self.error} (after {self.attempts} attempt(s))"
+        )
+
+
+@dataclass(frozen=True)
 class CorpusReport:
     """The pipeline's merged, order-canonical result."""
 
@@ -215,6 +242,11 @@ class CorpusReport:
     jobs: int = 1
     #: End-to-end wall clock of the pipeline run — informational.
     wall_seconds: float = field(default=0.0, compare=False, hash=False)
+    #: Units the serving engine abandoned after bounded retries.  A
+    #: report with failures covers only the programs that completed;
+    #: the fingerprint hashes those completions (a partial report can
+    #: never collide with the full one — its program set differs).
+    failures: tuple[UnitFailure, ...] = ()
 
     def counts(self) -> tuple[int, int]:
         """(scalar count, histogram count) over the whole corpus."""
@@ -269,6 +301,8 @@ class CorpusReport:
         scalars, histograms = self.counts()
         extended = sum(len(p.extended) for p in self.programs)
         extra = f", {extended} extension match(es)" if extended else ""
+        if self.failures:
+            extra += f", {len(self.failures)} FAILED unit(s)"
         return (
             f"{len(self.programs)} program(s): {scalars} scalar, "
             f"{histograms} histogram reduction(s){extra} "
@@ -329,6 +363,11 @@ def report_to_json(report: CorpusReport) -> dict:
         "jobs": report.jobs,
         "wall_seconds": report.wall_seconds,
         "fingerprint": report.fingerprint(),
+        "failures": [
+            {"name": f.name, "suite": f.suite, "function": f.function,
+             "error": f.error, "attempts": f.attempts}
+            for f in report.failures
+        ],
         "programs": [
             {
                 "name": p.name,
@@ -416,6 +455,12 @@ def report_from_json(data: dict) -> CorpusReport:
         programs=programs,
         jobs=data.get("jobs", 1),
         wall_seconds=data.get("wall_seconds", 0.0),
+        failures=tuple(
+            UnitFailure(name=f["name"], suite=f["suite"],
+                        function=f["function"], error=f["error"],
+                        attempts=f["attempts"])
+            for f in data.get("failures", ())
+        ),
     )
     recorded = data.get("fingerprint")
     if recorded is not None and recorded != report.fingerprint():

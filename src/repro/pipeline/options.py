@@ -47,6 +47,21 @@ class PipelineOptions:
     #: (measured-cost balancing) instead of the static source-length
     #: proxy.
     weights_from: str | None = None
+    #: Serving engine only: recycle a worker process after it has
+    #: completed this many units (None = never).  Recycling bounds the
+    #: memory a long-lived worker's caches can accumulate and proves
+    #: the pool survives worker turnover.
+    max_tasks_per_worker: int | None = None
+    #: Serving engine only: how many times a unit lost to a dead
+    #: worker is resubmitted before the job records a structured
+    #: :class:`~repro.pipeline.digest.UnitFailure` for its program.
+    max_unit_retries: int = 2
+    #: Serving engine only: seconds between worker heartbeat messages.
+    heartbeat_interval: float = 1.0
+    #: Serving engine only: a worker whose process is alive but whose
+    #: last heartbeat is older than this is declared hung and replaced
+    #: (its in-flight unit is resubmitted like any lost unit).
+    heartbeat_timeout: float = 30.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -56,6 +71,19 @@ class PipelineOptions:
                 f"granularity must be 'program' or 'function', "
                 f"got {self.granularity!r}"
             )
+        if (self.max_tasks_per_worker is not None
+                and self.max_tasks_per_worker < 1):
+            raise ValueError(
+                f"max_tasks_per_worker must be >= 1 or None, "
+                f"got {self.max_tasks_per_worker}"
+            )
+        if self.max_unit_retries < 0:
+            raise ValueError(
+                f"max_unit_retries must be >= 0, "
+                f"got {self.max_unit_retries}"
+            )
+        if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat interval/timeout must be > 0")
         # Normalize list arguments so options compare/pickle cleanly.
         object.__setattr__(self, "spec_files", tuple(self.spec_files))
         if self.suites is not None:

@@ -1,4 +1,5 @@
-"""Persistent serving engine: long-lived workers, streamed digests.
+"""Persistent serving engine: long-lived workers, streamed digests,
+priority scheduling and fault tolerance.
 
 The batch pipeline (:mod:`repro.pipeline.engine`) spins up a process
 pool per run — the right shape for one corpus sweep, the wrong one for
@@ -11,89 +12,262 @@ processes alive across requests:
   the request into :class:`~repro.pipeline.shard.WorkUnit`\\ s, enqueues
   them and returns a :class:`ServingJob` immediately; several jobs may
   be in flight at once, their results routed by job id;
-* **digests stream** — :meth:`ServingJob.stream` yields each program's
-  :class:`~repro.pipeline.digest.ProgramDigest` the moment its last
-  unit completes (completion order), so a consumer renders results
-  while the rest of the corpus is still being served;
+* **scheduling is class-aware** — every job carries a
+  :class:`JobClass` (``INTERACTIVE`` or ``BATCH``); pending units are
+  dequeued weighted-fair (stride scheduling), so an interactive submit
+  overtakes a deep backlog of queued batch units instead of waiting
+  behind it, while a lone batch job still gets the whole pool;
+* **jobs are cancellable** — :meth:`ServingJob.cancel` drains the
+  job's queued units from the scheduler, flags its in-flight units
+  (their results are dropped on arrival) and makes
+  :meth:`ServingJob.stream`/:meth:`ServingJob.result` raise
+  :class:`JobCancelled`; later submits are unaffected;
+* **workers are supervised** — each worker sends heartbeats from a
+  background thread; a worker whose process died (or whose heartbeat
+  went stale) is replaced, its in-flight unit resubmitted with a
+  bounded retry budget, after which the job records a structured
+  :class:`~repro.pipeline.digest.UnitFailure` instead of hanging.
+  ``max_tasks_per_worker`` recycles workers after a task quota, so a
+  long-lived pool survives worker turnover by construction;
 * **workers are warm** — each worker keeps its
   :class:`~repro.idioms.registry.IdiomRegistry` and a compiled-module
-  cache for the life of the engine, so repeated traffic over the same
-  corpus pays compiles once per worker, not once per request;
-* **function-level sharding** — with
-  ``PipelineOptions(granularity="function")`` a giant module's
-  functions spread over all workers instead of serializing one.
+  cache for the life of the process, so repeated traffic over the same
+  corpus pays compiles once per worker, not once per request.
 
 Determinism is preserved exactly as in batch mode:
 :meth:`ServingJob.result` reassembles units through the same checked
 merge, so a serving run's :class:`~repro.pipeline.digest.CorpusReport`
 is fingerprint-identical to ``detect_corpus(jobs=1)`` with the same
-options (property-tested in ``tests/pipeline/test_serving.py``).
+options — including runs where a worker was killed mid-job and its
+units were resubmitted (property- and chaos-tested in
+``tests/pipeline/test_serving.py`` and
+``tests/pipeline/test_reliability.py``).
 
 Quickstart::
 
-    from repro.pipeline import PipelineOptions, ServingEngine
+    from repro.pipeline import JobClass, PipelineOptions, ServingEngine
 
     with ServingEngine(PipelineOptions(jobs=4, extended=True,
                                        granularity="function")) as engine:
-        job = engine.submit()                 # whole corpus, async
-        for digest in job.stream():           # completion order
+        batch = engine.submit(priority=JobClass.BATCH)
+        urgent = engine.submit(keys[:2], priority=JobClass.INTERACTIVE)
+        report = urgent.result()              # overtakes the batch queue
+        for digest in batch.stream():         # completion order
             print(digest.name, digest.counts())
-        report = job.result()                 # canonical order, checked
 """
 
 from __future__ import annotations
 
+import enum
 import itertools
-import multiprocessing
-import queue
+import math
 import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as _wait_channels
 from typing import Callable, Iterator, Sequence
 
-from .digest import CorpusReport, ProgramDigest, UnitDigest, assemble_program
+from .digest import (
+    CorpusReport,
+    ProgramDigest,
+    UnitDigest,
+    UnitFailure,
+    assemble_program,
+)
 from .engine import planned_keys, resolve_weight_source
 from .options import PipelineOptions
 from .shard import WorkUnit, lpt_order, plan_units
-from .worker import ModuleCache, _build_registry, detect_unit
+from .worker import (
+    ChannelSender,
+    Heartbeat,
+    ModuleCache,
+    _build_registry,
+    detect_unit,
+)
 
 Key = tuple[str, str]
 
 
-def serve_worker(task_queue, result_queue, options: PipelineOptions,
-                 stop=None) -> None:
+class JobCancelled(Exception):
+    """Raised by ``stream()``/``result()`` of a cancelled job."""
+
+
+class JobClass(enum.Enum):
+    """Scheduling class of a submitted job.
+
+    ``INTERACTIVE`` units are dequeued four times as often as
+    ``BATCH`` units when both classes have work queued (stride
+    scheduling); with only one class active it receives the whole
+    pool.  The weights are scheduling policy only — they can never
+    change a report, just its latency.
+    """
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+
+    @property
+    def weight(self) -> int:
+        return _CLASS_WEIGHTS[self]
+
+
+_CLASS_WEIGHTS = {JobClass.INTERACTIVE: 4, JobClass.BATCH: 1}
+_CLASS_ORDER = (JobClass.INTERACTIVE, JobClass.BATCH)
+#: Stride numerator: lcm of the class weights, so strides stay integral
+#: for any weight table.
+_STRIDE_SCALE = math.lcm(*_CLASS_WEIGHTS.values())
+
+
+class PriorityScheduler:
+    """Weighted-fair dequeue over per-class FIFO queues.
+
+    Textbook stride scheduling: each class advances a virtual ``pass``
+    by ``_STRIDE_SCALE / weight`` per dispatched unit, and ``pop``
+    serves the active class with the lowest pass — interactive work
+    (weight 4) gets four units per batch unit under contention, batch
+    work keeps the pool saturated otherwise.  A class activating after
+    idling resumes at the scheduler's clock, not its stale pass, so it
+    cannot burst on accumulated credit.  Entirely deterministic: state
+    is integers, ties break by class order.
+    """
+
+    def __init__(self) -> None:
+        self._queues: dict[JobClass, deque] = {
+            cls: deque() for cls in _CLASS_ORDER
+        }
+        self._pass: dict[JobClass, int] = {cls: 0 for cls in _CLASS_ORDER}
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _activate(self, cls: JobClass) -> None:
+        if not self._queues[cls]:
+            self._pass[cls] = max(self._pass[cls], self._clock)
+
+    def push(self, job_id: int, unit: WorkUnit, attempt: int,
+             cls: JobClass) -> None:
+        self._activate(cls)
+        self._queues[cls].append((job_id, unit, attempt))
+
+    def push_front(self, job_id: int, unit: WorkUnit, attempt: int,
+                   cls: JobClass) -> None:
+        """Requeue a resubmitted unit at the head of its class — a
+        recovered unit must not wait behind the whole backlog again."""
+        self._activate(cls)
+        self._queues[cls].appendleft((job_id, unit, attempt))
+
+    def pop(self) -> tuple | None:
+        """``(job_id, unit, attempt, cls)`` of the next unit, or None."""
+        active = [cls for cls in _CLASS_ORDER if self._queues[cls]]
+        if not active:
+            return None
+        cls = min(
+            active,
+            key=lambda c: (self._pass[c], _CLASS_ORDER.index(c)),
+        )
+        self._clock = self._pass[cls]
+        self._pass[cls] += _STRIDE_SCALE // cls.weight
+        job_id, unit, attempt = self._queues[cls].popleft()
+        return (job_id, unit, attempt, cls)
+
+    def purge(self, job_id: int) -> int:
+        """Drop every queued unit of ``job_id``; returns the count."""
+        drained = 0
+        for cls in _CLASS_ORDER:
+            kept = deque(
+                entry for entry in self._queues[cls] if entry[0] != job_id
+            )
+            drained += len(self._queues[cls]) - len(kept)
+            self._queues[cls] = kept
+        return drained
+
+    def pending_for(self, job_id: int) -> int:
+        return sum(
+            1
+            for q in self._queues.values()
+            for entry in q
+            if entry[0] == job_id
+        )
+
+
+def serve_worker(worker_id: int, task_queue, result_conn,
+                 options: PipelineOptions, stop=None) -> None:
     """One persistent worker process.
 
-    Pulls ``(job_id, unit)`` tasks until the ``None`` sentinel (or the
-    ``stop`` event is set — draining a queue from the parent races the
-    queue's feeder thread, so shutdown needs a signal workers check
-    themselves), keeping the idiom registry and compiled modules warm
-    across tasks — and across jobs.  Results (or per-unit failures)
-    are pushed back tagged with the job id; a failed unit never kills
-    the worker, so one bad program cannot take down the engine.
+    Pulls ``(job_id, unit)`` tasks from its **own** queue until the
+    ``None`` sentinel (or the ``stop`` event is set — draining a queue
+    from the parent races the queue's feeder thread, so shutdown needs
+    a signal workers check themselves), keeping the idiom registry and
+    compiled modules warm across tasks — and across jobs.  Results
+    and heartbeats go out on the worker's **private result pipe**
+    (``result_conn``): one writer per channel, so a worker killed
+    mid-send can corrupt at most its own pipe — never a lock the
+    surviving workers share (the parent reads the pipes multiplexed
+    via ``multiprocessing.connection.wait``, and a broken pipe *is*
+    the death notice).  A :class:`~repro.pipeline.worker.Heartbeat`
+    thread proves liveness the whole time, so the engine can tell a
+    worker grinding through a heavy unit from a dead or hung one; a
+    failed unit never kills the worker, so one bad program cannot
+    take down the engine.
     """
-    registry = _build_registry(options)
-    modules = ModuleCache()
-    while True:
-        task = task_queue.get()
-        if task is None or (stop is not None and stop.is_set()):
-            break
-        job_id, unit = task
-        try:
-            digest = detect_unit(unit, options, registry, modules)
-            result_queue.put((job_id, digest, None))
-        except Exception as exc:  # propagate, don't die
-            result_queue.put(
-                (job_id, unit, f"{type(exc).__name__}: {exc}")
-            )
+    sender = ChannelSender(result_conn)
+    beacon = Heartbeat(
+        worker_id, sender, options.heartbeat_interval
+    ).start()
+    try:
+        registry = _build_registry(options)
+        modules = ModuleCache()
+        while True:
+            task = task_queue.get()
+            if task is None or (stop is not None and stop.is_set()):
+                break
+            job_id, unit = task
+            try:
+                digest = detect_unit(unit, options, registry, modules)
+                sender.put(
+                    ("done", worker_id, job_id, unit, digest, None)
+                )
+            except Exception as exc:  # propagate, don't die
+                sender.put(
+                    ("done", worker_id, job_id, unit, None,
+                     f"{type(exc).__name__}: {exc}")
+                )
+    finally:
+        beacon.stop()
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side view of one worker process.
+
+    ``assignment`` is the single in-flight dispatch — the engine hands
+    each worker exactly one unit at a time (its own task queue, depth
+    one), which is what makes a killed worker's loss *exact*: the
+    engine knows precisely which unit died with it and resubmits that
+    unit, nothing else.
+    """
+
+    worker_id: int
+    process: object
+    queue: object
+    #: Parent-side read end of the worker's private result pipe.
+    conn: object = None
+    #: ``(job_id, unit, attempt, job_class)`` or None when idle.
+    assignment: tuple | None = None
+    tasks_done: int = 0
+    last_beat: float = field(default_factory=time.monotonic)
 
 
 class ServingJob:
     """One submitted request: a set of corpus keys being served."""
 
     def __init__(self, engine: "ServingEngine", job_id: int,
-                 keys: list[Key], unit_count: int):
+                 keys: list[Key], unit_count: int,
+                 priority: JobClass = JobClass.BATCH):
         self._engine = engine
         self.job_id = job_id
         self.keys = keys
+        self.priority = priority
         self._pending_units = unit_count
         self._by_key: dict[Key, list[UnitDigest]] = {}
         self._remaining: dict[Key, int] = {}
@@ -101,6 +275,13 @@ class ServingJob:
         self._completed: list[ProgramDigest] = []
         self._streamed = 0
         self._errors: list[str] = []
+        self._failures: list[UnitFailure] = []
+        #: Units already accounted for, by ``(key, function)`` — the
+        #: duplicate guard: a unit resubmitted after a false death
+        #: verdict may eventually produce two results; only the first
+        #: counts.
+        self._delivered: set[tuple[Key, str | None]] = set()
+        self._cancelled = False
         self._started = time.perf_counter()
         self._wall: float | None = None
 
@@ -108,51 +289,101 @@ class ServingJob:
     def done(self) -> bool:
         return self._pending_units == 0
 
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> int:
+        """Cancel the job (idempotent); returns queued units drained.
+
+        Queued units leave the scheduler immediately; in-flight units
+        are flagged — their results are dropped on arrival, never
+        delivered.  ``stream()``/``result()`` raise
+        :class:`JobCancelled` from now on.  The engine and its workers
+        stay fully usable for other (and later) jobs.
+        """
+        if self._cancelled:
+            return 0
+        self._cancelled = True
+        return self._engine._cancel(self)
+
     # -- engine-side plumbing ------------------------------------------------
 
     def _expect(self, unit: WorkUnit) -> None:
         self._remaining[unit.key] = self._remaining.get(unit.key, 0) + 1
 
-    def _deliver(self, digest: UnitDigest) -> None:
-        self._by_key.setdefault(digest.key, []).append(digest)
+    def _account(self, key: Key, function: str | None) -> bool:
+        """Duplicate-guarded bookkeeping; False when already counted."""
+        marker = (key, function)
+        if marker in self._delivered:
+            return False
+        self._delivered.add(marker)
         self._pending_units -= 1
-        self._remaining[digest.key] -= 1
+        self._remaining[key] -= 1
+        if self._pending_units == 0:
+            self._wall = time.perf_counter() - self._started
+        return True
+
+    def _deliver(self, digest: UnitDigest) -> None:
+        if not self._account(digest.key, digest.function):
+            return
+        self._by_key.setdefault(digest.key, []).append(digest)
         if (self._remaining[digest.key] == 0
                 and digest.key not in self._failed_keys):
             self._completed.append(assemble_program(self._by_key[digest.key]))
-        if self._pending_units == 0:
-            self._wall = time.perf_counter() - self._started
 
     def _fail(self, unit: WorkUnit, message: str) -> None:
-        self._pending_units -= 1
-        self._remaining[unit.key] -= 1
+        if not self._account(unit.key, unit.function):
+            return
         self._failed_keys.add(unit.key)
         self._errors.append(f"{unit.key}/{unit.function or '*'}: {message}")
-        if self._pending_units == 0:
-            self._wall = time.perf_counter() - self._started
+
+    def _lost(self, unit: WorkUnit, failure: UnitFailure) -> None:
+        """A unit abandoned after bounded retries: structured failure,
+        not a hung job and not an exception — the rest of the report
+        still completes and carries the :class:`UnitFailure`."""
+        if not self._account(unit.key, unit.function):
+            return
+        self._failed_keys.add(unit.key)
+        self._failures.append(failure)
 
     # -- consumer API --------------------------------------------------------
+
+    def _raise_if_cancelled(self) -> None:
+        if self._cancelled:
+            raise JobCancelled(
+                f"serving job {self.job_id} was cancelled"
+            )
 
     def stream(self) -> Iterator[ProgramDigest]:
         """Yield program digests as programs complete.
 
         Completion order — *not* canonical corpus order; use
         :meth:`result` for the canonical, fingerprint-stable report.
-        Raises on the first failed unit.
+        Raises :class:`JobCancelled` once the job is cancelled and
+        ``RuntimeError`` on the first unit that failed *in* a worker
+        (a deterministic program error).  Units lost to dead workers
+        do not raise: their programs are skipped here and recorded as
+        :class:`UnitFailure`\\ s on the :meth:`result` report.
         """
         while True:
+            self._raise_if_cancelled()
             if self._errors:
                 # Unregister: the consumer is done with this job, so
-                # late results for it are dropped by the router instead
-                # of accumulating in a job nobody will drain.  (Queued
-                # units of the job still run to completion — per-job
-                # cancellation is a ROADMAP item.)
-                self._engine._jobs.pop(self.job_id, None)
+                # its queued units are drained and late results for it
+                # are dropped by the router instead of accumulating in
+                # a job nobody will drain.
+                self._engine._abandon(self)
                 raise RuntimeError(
                     f"serving job {self.job_id} failed: "
                     + "; ".join(self._errors)
                 )
             while self._streamed < len(self._completed):
+                # Re-checked per yield: cancelling from inside the
+                # consumer loop must stop the stream at the very next
+                # iteration, even when several programs completed in
+                # one pump and are already buffered.
+                self._raise_if_cancelled()
                 digest = self._completed[self._streamed]
                 self._streamed += 1
                 yield digest
@@ -164,37 +395,64 @@ class ServingJob:
         """Drain the job and return the canonical-order report.
 
         Identical (same fingerprint) to a batch ``jobs=1`` run with the
-        same options — the serving engine's determinism contract.
+        same options — the serving engine's determinism contract, which
+        worker deaths and resubmissions must not (and, tested, do not)
+        weaken.  Programs whose units were abandoned after bounded
+        retries are omitted from ``programs`` and recorded on
+        ``failures``.
         """
         for _ in self.stream():
             pass
         by_key = {digest.key: digest for digest in self._completed}
-        missing = [key for key in self.keys if key not in by_key]
+        missing = [
+            key for key in self.keys
+            if key not in by_key and key not in self._failed_keys
+        ]
         if missing:
             raise ValueError(f"serving returned no result for {missing}")
         return CorpusReport(
-            programs=tuple(by_key[key] for key in self.keys),
+            programs=tuple(
+                by_key[key] for key in self.keys if key in by_key
+            ),
             jobs=self._engine.workers,
             wall_seconds=self._wall or 0.0,
+            failures=tuple(self._failures),
         )
 
 
 class ServingEngine:
-    """A persistent detection service over long-lived workers."""
+    """A persistent, fault-tolerant detection service.
+
+    Architecturally a supervisor: pending units live in the parent's
+    :class:`PriorityScheduler` (not a shared queue), each worker holds
+    exactly one in-flight unit on its private task queue, and every
+    completion triggers the next weighted-fair dispatch.  That one
+    design choice buys the whole reliability story — priorities apply
+    up to the very next unit, cancellation can drain the queue
+    synchronously, and a dead worker loses exactly one known unit,
+    which is resubmitted (bounded by ``max_unit_retries``) while a
+    replacement process keeps the pool at full strength.
+    """
 
     def __init__(self, options: PipelineOptions | None = None, **kwargs):
         self.options = (
             options if options is not None else PipelineOptions(**kwargs)
         )
-        #: Worker-process count (the options' ``jobs``).
+        #: Worker-process count (the options' ``jobs``) — the pool is
+        #: kept at this strength across deaths and recycles.
         self.workers = self.options.jobs
         self._context = None
-        self._processes: list = []
-        self._task_queue = None
-        self._result_queue = None
+        self._workers: dict[int, _WorkerHandle] = {}
+        self._retired: list = []
         self._stop = None
+        self._scheduler = PriorityScheduler()
         self._jobs: dict[int, ServingJob] = {}
         self._job_ids = itertools.count()
+        self._worker_ids = itertools.count()
+        #: Lifetime counters, for observability and tests.
+        self.worker_deaths = 0
+        self.resubmissions = 0
+        self.recycled = 0
         #: The options' weight source, resolved once for the engine's
         #: lifetime — ``weights_from`` names an immutable report file,
         #: and a persistent engine must not re-read and re-verify it
@@ -206,12 +464,14 @@ class ServingEngine:
 
     @property
     def running(self) -> bool:
-        return bool(self._processes)
+        return bool(self._workers)
 
     def start(self) -> "ServingEngine":
         """Spawn the worker processes (idempotent)."""
         if self.running:
             return self
+        import multiprocessing
+
         method = self.options.start_method
         if method is None:
             method = (
@@ -220,50 +480,69 @@ class ServingEngine:
                 else "spawn"
             )
         self._context = multiprocessing.get_context(method)
-        self._task_queue = self._context.Queue()
-        self._result_queue = self._context.Queue()
         self._stop = self._context.Event()
-        self._processes = [
-            self._context.Process(
-                target=serve_worker,
-                args=(self._task_queue, self._result_queue, self.options,
-                      self._stop),
-                daemon=True,
-            )
-            for _ in range(self.workers)
-        ]
-        for process in self._processes:
-            process.start()
+        self._scheduler = PriorityScheduler()
+        for _ in range(self.workers):
+            self._spawn_worker()
         return self
+
+    def _spawn_worker(self) -> _WorkerHandle:
+        worker_id = next(self._worker_ids)
+        task_queue = self._context.Queue()
+        reader, writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=serve_worker,
+            args=(worker_id, task_queue, writer,
+                  self.options, self._stop),
+            daemon=True,
+        )
+        process.start()
+        # Close the parent's copy of the write end: the worker now
+        # holds the only writer, so its death makes the pipe EOF —
+        # the read side doubles as a death notice.
+        writer.close()
+        handle = _WorkerHandle(worker_id, process, task_queue,
+                               conn=reader)
+        self._workers[worker_id] = handle
+        return handle
 
     def shutdown(self) -> None:
         """Stop the workers (idempotent).
 
         In-flight jobs are abandoned: the stop event makes each worker
-        exit at its next task (draining the queue from the parent
-        would race the feeder thread, so workers check the event
-        themselves instead of detecting work nobody will read), and
-        any job still pending is marked failed — a later
+        exit at its next task (draining a queue from the parent would
+        race the feeder thread, so workers check the event themselves),
+        and any job still pending is marked failed — a later
         ``stream()``/``result()`` on it raises instead of waiting on
         queues that no longer exist.
         """
         if not self.running:
             return
         self._stop.set()
-        for _ in self._processes:
-            self._task_queue.put(None)
-        for process in self._processes:
-            process.join(timeout=30)
+        for handle in self._workers.values():
+            handle.queue.put(None)
+        for handle in self._workers.values():
+            handle.process.join(timeout=30)
+            if handle.process.is_alive():  # pragma: no cover - defensive
+                handle.process.terminate()
+                handle.process.join()
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for process in self._retired:
+            process.join(timeout=5)
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join()
         for job in self._jobs.values():
-            if not job.done:
+            if not job.done and not job.cancelled:
                 job._errors.append("engine shut down with the job pending")
                 job._pending_units = 0
         self._jobs.clear()
-        self._processes = []
-        self._task_queue = self._result_queue = None
+        self._workers = {}
+        self._retired = []
+        self._scheduler = PriorityScheduler()
         self._stop = self._context = None
 
     def __enter__(self) -> "ServingEngine":
@@ -282,82 +561,268 @@ class ServingEngine:
         self,
         keys: Sequence[Key] | None = None,
         weights: "CorpusReport | Callable | None" = None,
+        priority: "JobClass | str" = JobClass.BATCH,
     ) -> ServingJob:
         """Enqueue a request; returns immediately.
 
         Units are planned and cost-ordered exactly as in batch mode
-        (granularity, measured weights) and fed to the shared task
-        queue heaviest-first, so the pool drains them LPT-style —
-        whichever worker frees up takes the next-heaviest unit.
+        (granularity, measured weights) and enter the priority
+        scheduler heaviest-first within the job, so the pool drains
+        each job LPT-style; across jobs the scheduler interleaves by
+        class weight.  Planning happens *before* any worker is
+        spawned, and a submit that fails after auto-starting a
+        previously idle engine tears the pool back down — a raising
+        ``submit`` never leaks worker processes.
         """
-        if not self.running:
-            self.start()
+        if isinstance(priority, str):
+            priority = JobClass(priority)
         keys = list(keys) if keys is not None else self.keys()
-        options = self.options
-        units = plan_units(keys, options.granularity,
-                           options.split_threshold)
-        if weights is not None:
-            weight = resolve_weight_source(options, weights)
-        else:
-            if not self._weight_source_resolved:
-                self._weight_source = resolve_weight_source(options)
-                self._weight_source_resolved = True
-            weight = self._weight_source
-        # LPT service order: heaviest unit first.  With a shared task
-        # queue the *workers* balance load dynamically — whichever
-        # frees up takes the next-heaviest unit — so the weight source
-        # only decides service order.
-        ordered = lpt_order(units, weight)
-        job = ServingJob(self, next(self._job_ids), keys, len(units))
-        self._jobs[job.job_id] = job
-        for unit in ordered:
-            job._expect(unit)
-        for unit in ordered:
-            self._task_queue.put((job.job_id, unit))
-        return job
+        # Dedupe, preserving order: a repeated key would plan two
+        # identical units whose second result the duplicate guard
+        # (rightly) drops — the job must expect each unit once.
+        keys = list(dict.fromkeys(keys))
+        started_here = not self.running
+        job = None
+        try:
+            options = self.options
+            units = plan_units(keys, options.granularity,
+                               options.split_threshold)
+            if weights is not None:
+                weight = resolve_weight_source(options, weights)
+            else:
+                if not self._weight_source_resolved:
+                    self._weight_source = resolve_weight_source(options)
+                    self._weight_source_resolved = True
+                weight = self._weight_source
+            ordered = lpt_order(units, weight)
+            if not self.running:
+                self.start()
+            job = ServingJob(self, next(self._job_ids), keys, len(units),
+                             priority)
+            self._jobs[job.job_id] = job
+            for unit in ordered:
+                job._expect(unit)
+            for unit in ordered:
+                self._scheduler.push(job.job_id, unit, 0, priority)
+            self._dispatch()
+            return job
+        except BaseException:
+            if job is not None:
+                self._scheduler.purge(job.job_id)
+                self._jobs.pop(job.job_id, None)
+            if started_here and self.running and not self._jobs:
+                self.shutdown()
+            raise
 
     def serve(
         self,
         keys: Sequence[Key] | None = None,
         weights: "CorpusReport | Callable | None" = None,
+        priority: "JobClass | str" = JobClass.BATCH,
     ) -> CorpusReport:
         """Submit and wait: the synchronous convenience wrapper."""
-        return self.submit(keys, weights=weights).result()
+        return self.submit(keys, weights=weights,
+                           priority=priority).result()
 
-    # -- result routing ------------------------------------------------------
+    # -- job bookkeeping -----------------------------------------------------
+
+    def _cancel(self, job: ServingJob) -> int:
+        drained = self._scheduler.purge(job.job_id)
+        self._jobs.pop(job.job_id, None)
+        return drained
+
+    def _abandon(self, job: ServingJob) -> None:
+        self._jobs.pop(job.job_id, None)
+        if self.running:
+            self._scheduler.purge(job.job_id)
+
+    # -- the dispatcher ------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Hand the next scheduled unit to every idle worker."""
+        for handle in list(self._workers.values()):
+            if handle.assignment is not None:
+                continue
+            while True:
+                entry = self._scheduler.pop()
+                if entry is None:
+                    return
+                job_id, unit, attempt, cls = entry
+                if job_id not in self._jobs:
+                    continue  # cancelled or abandoned; drop the unit
+                handle.queue.put((job_id, unit))
+                handle.assignment = (job_id, unit, attempt, cls)
+                break
+
+    def _poll_timeout(self) -> float:
+        return max(0.05, min(1.0, self.options.heartbeat_timeout / 4.0))
 
     def _pump(self) -> None:
-        """Route one result from the shared queue to its job.
+        """One supervision step: reap results, check liveness, dispatch.
 
-        Polls with a timeout so a crashed worker raises instead of
-        hanging the consumer forever: a unit handed to a worker that
-        died produces no result.  The engine does not track which
-        worker took which unit, so a dead worker is only treated as
-        fatal after a grace period with no results at all — a live
-        worker grinding through a heavy unit must not abort the job
-        just because an idle sibling was killed.  (A dead worker's
-        already-queued results are delivered first — the queue drains
-        before any timeout expires.)
+        Already-delivered messages are drained first — a worker that
+        completed a unit and was killed a moment later gets credit for
+        the work instead of a pointless resubmission.  Then liveness:
+        a worker whose process died or whose heartbeat went stale is
+        replaced and its in-flight unit requeued (front of its class)
+        or, past ``max_unit_retries``, recorded as a
+        :class:`UnitFailure` on its job.  Finally a bounded blocking
+        wait over every worker's result pipe so the consumer's
+        ``stream()`` loop makes progress without spinning.
         """
-        silent_polls = 0
-        while True:
-            try:
-                job_id, payload, error = self._result_queue.get(timeout=5.0)
-                break
-            except queue.Empty:
-                silent_polls += 1
-                dead = not all(p.is_alive() for p in self._processes)
-                if dead and silent_polls >= 6:
-                    raise RuntimeError(
-                        "a serving worker died and no results arrived "
-                        "for 30s; outstanding units may be lost"
-                    ) from None
-        job = self._jobs.get(job_id)
-        if job is None:  # pragma: no cover - abandoned job
+        if not self.running:
             return
+        processed = self._poll_channels(0.0)
+        self._check_liveness()
+        self._dispatch()
+        if processed:
+            return
+        self._poll_channels(self._poll_timeout())
+        self._dispatch()
+
+    def _poll_channels(self, timeout: float) -> int:
+        """Multiplex every worker's result pipe; returns messages read.
+
+        ``multiprocessing.connection.wait`` marks a pipe ready on data
+        *or* EOF — a dead worker's closed pipe is its death notice, so
+        kills surface here immediately instead of waiting for a
+        liveness sweep.  A pipe that raises (EOF, a message truncated
+        by a mid-send kill) condemns only its own worker.
+        """
+        channels = {
+            handle.conn: handle for handle in self._workers.values()
+        }
+        if not channels:
+            return 0
+        try:
+            ready = _wait_channels(list(channels), timeout)
+        except OSError:  # pragma: no cover - defensive
+            return 0
+        processed = 0
+        for conn in ready:
+            handle = channels[conn]
+            # The handle may have been recycled or condemned while an
+            # earlier channel in this pass was processed.
+            while handle.worker_id in self._workers:
+                try:
+                    if not conn.poll():
+                        break
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._declare_dead(handle, "worker died")
+                    break
+                except Exception:  # pragma: no cover - torn message
+                    self._declare_dead(handle,
+                                       "worker channel corrupted")
+                    break
+                self._handle_message(message)
+                processed += 1
+        return processed
+
+    def _handle_message(self, message) -> None:
+        kind = message[0]
+        if kind == "beat":
+            _, worker_id = message
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.last_beat = time.monotonic()
+            return
+        _, worker_id, job_id, unit, digest, error = message
+        handle = self._workers.get(worker_id)
+        if handle is not None:
+            # Depth-one dispatch: a live worker's message always
+            # answers its current assignment.
+            handle.assignment = None
+            handle.tasks_done += 1
+            handle.last_beat = time.monotonic()
+            self._maybe_recycle(handle)
+        job = self._jobs.get(job_id)
+        if job is None:
+            return  # cancelled or abandoned job; drop the result
         if error is not None:
-            job._fail(payload, error)
+            job._fail(unit, error)
         else:
-            job._deliver(payload)
+            job._deliver(digest)
         if job.done:
             self._jobs.pop(job_id, None)
+
+    def _maybe_recycle(self, handle: _WorkerHandle) -> None:
+        """Retire a worker that reached its task quota.
+
+        The worker exits gracefully at the sentinel (its caches die
+        with it — the recycling point), a replacement keeps the pool
+        at strength, and the retired process is reaped opportunistically
+        so recycling a busy pool never blocks the dispatcher.
+        """
+        limit = self.options.max_tasks_per_worker
+        if limit is None or handle.tasks_done < limit:
+            return
+        handle.queue.put(None)
+        self._workers.pop(handle.worker_id, None)
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._retired.append(handle.process)
+        self.recycled += 1
+        self._spawn_worker()
+
+    def _check_liveness(self) -> None:
+        """Replace dead or hung workers; recover their in-flight units."""
+        # Reap retired processes that have exited (is_alive waitpids).
+        self._retired = [p for p in self._retired if p.is_alive()]
+        now = time.monotonic()
+        for handle in list(self._workers.values()):
+            alive = handle.process.is_alive()
+            stale = (
+                now - handle.last_beat > self.options.heartbeat_timeout
+            )
+            if alive and not stale:
+                continue
+            self._declare_dead(
+                handle,
+                "worker died" if not alive
+                else "worker heartbeat went stale",
+            )
+
+    def _declare_dead(self, handle: _WorkerHandle, reason: str) -> None:
+        """Condemn one worker: replace it, recover its in-flight unit.
+
+        Idempotent per handle.  The unit is requeued at the head of
+        its class while retries remain; past the budget its job
+        records a :class:`UnitFailure` and completes without it.
+        """
+        if self._workers.pop(handle.worker_id, None) is None:
+            return
+        if handle.process.is_alive():
+            # Hung, not dead: terminate so it cannot hold the unit (a
+            # late result would be dropped by the duplicate guard, but
+            # a zombie worker still wastes a core).  Only its own
+            # private pipe can be torn by this.
+            handle.process.terminate()
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self._retired.append(handle.process)
+        self.worker_deaths += 1
+        if handle.assignment is not None:
+            job_id, unit, attempt, cls = handle.assignment
+            job = self._jobs.get(job_id)
+            if job is not None:
+                if attempt < self.options.max_unit_retries:
+                    self._scheduler.push_front(
+                        job_id, unit, attempt + 1, cls
+                    )
+                    self.resubmissions += 1
+                else:
+                    job._lost(unit, UnitFailure(
+                        name=unit.name,
+                        suite=unit.suite,
+                        function=unit.function,
+                        error=reason,
+                        attempts=attempt + 1,
+                    ))
+                    if job.done:
+                        self._jobs.pop(job_id, None)
+        self._spawn_worker()

@@ -133,10 +133,21 @@ def measured_weights(
     dominates the detect stage.  Both are expressed on the *seconds*
     scale (eval counts are rescaled by the report-wide seconds/eval
     ratio), so program and function units stay commensurable when a
-    ``split_threshold`` mixes the two in one schedule.  Work absent
-    from the report (new programs, renamed functions) is scheduled at
-    the measured mean, so one cold key cannot unbalance a warm
-    schedule.
+    ``split_threshold`` mixes the two in one schedule.
+
+    **Cold-start blending**: work absent from the report (new
+    programs, renamed functions) is scheduled at its *static proxy
+    scaled into the measured distribution* — the proxy (source length
+    for a program, instruction count for a function) divided by the
+    mean proxy of the report's own entries, times the measured mean.
+    Big unseen programs land heavier than small ones, yet stay on the
+    measured scale, so one cold key cannot unbalance a warm schedule.
+    Two graceful degradations bound the blend: an item whose proxy is
+    unavailable (not in the corpus) falls back to the measured mean,
+    and a report with *zero* resolvable entries of a kind — pure cold
+    start — degrades to weights proportional to the static proxy,
+    which shard identically to the proxy itself (LPT is invariant
+    under positive scaling).
     """
     program_cost: dict[Key, float] = {}
     function_cost: dict[tuple[Key, str], float] = {}
@@ -174,6 +185,41 @@ def measured_weights(
     program_mean = mean(program_cost.values())
     function_mean = mean(function_cost.values())
 
+    # Mean static proxy of the report's own entries, one baseline per
+    # unit kind — the denominator that scales an unseen item's proxy
+    # into the measured distribution.  Computed lazily (the function
+    # baseline compiles the report's programs) and cached; entries the
+    # current corpus cannot resolve are skipped, and a baseline with
+    # no resolvable entries stays None (→ measured-mean fallback).
+    proxy_baseline: dict[str, float | None] = {}
+
+    def _proxy_of(unit: WorkUnit) -> float | None:
+        try:
+            return unit_weight(unit)
+        except Exception:
+            return None
+
+    def _baseline(kind: str) -> float | None:
+        if kind in proxy_baseline:
+            return proxy_baseline[kind]
+        if kind == "program":
+            proxies = [
+                p for p in (
+                    _proxy_of(WorkUnit(*key)) for key in program_cost
+                ) if p is not None
+            ]
+        else:
+            proxies = [
+                p for p in (
+                    _proxy_of(WorkUnit(key[0], key[1], function=name))
+                    for (key, name) in function_cost
+                ) if p is not None
+            ]
+        proxy_baseline[kind] = (
+            sum(proxies) / len(proxies) if proxies else None
+        )
+        return proxy_baseline[kind]
+
     def weight(item: WorkUnit | Key) -> float:
         unit = (
             item
@@ -182,18 +228,28 @@ def measured_weights(
         )
         if unit.function is not None:
             measured = function_cost.get((unit.key, unit.function))
-            measured_mean = function_mean
+            measured_mean, kind = function_mean, "function"
         else:
             measured = program_cost.get(unit.key)
-            measured_mean = program_mean
+            measured_mean, kind = program_mean, "program"
         if measured is not None:
             return measured
-        # Cold start for unseen work: a typical measured cost.  The
-        # static proxy's scale (characters, instructions) is not
-        # commensurable with seconds or evals, so scheduling an unseen
-        # unit at the measured mean keeps one cold key from unbalancing
-        # a warm schedule either way.
-        return measured_mean
+        if not report.programs:
+            # Empty report: nothing measured at all, so the blend *is*
+            # the static proxy (modulo the unresolvable fallback).
+            proxy = _proxy_of(unit)
+            return proxy if proxy is not None else measured_mean
+        # Cold start for unseen work: the static proxy scaled into the
+        # measured distribution.  Raw proxies (characters,
+        # instructions) are not commensurable with seconds, so the
+        # proxy is normalized by the report's own mean proxy and
+        # re-expressed at the measured mean — differentiated like the
+        # proxy, scaled like the measurements.
+        proxy = _proxy_of(unit)
+        baseline = _baseline(kind) if proxy is not None else None
+        if proxy is None or baseline is None or baseline <= 0.0:
+            return measured_mean
+        return measured_mean * proxy / baseline
 
     return weight
 

@@ -32,6 +32,7 @@ whole in one worker or split across ten.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Sequence
 
@@ -53,6 +54,63 @@ def _build_registry(options: PipelineOptions):
     for path in options.spec_files:
         registry.load_file(path)
     return registry
+
+
+class ChannelSender:
+    """Thread-safe sender over a worker's private result pipe.
+
+    The worker's main loop and its :class:`Heartbeat` thread share one
+    :class:`multiprocessing.connection.Connection`; sends are
+    serialized by a lock so the two can never interleave a message.
+    Each worker writes only to its *own* pipe — worker death can
+    corrupt at most its own channel, never a lock another worker
+    needs (the failure mode a shared result queue would have).
+    """
+
+    def __init__(self, conn):
+        self._conn = conn
+        self._lock = threading.Lock()
+
+    def put(self, message) -> None:
+        with self._lock:
+            self._conn.send(message)
+
+
+class Heartbeat:
+    """Background liveness beacon for a persistent worker process.
+
+    A daemon thread that sends ``("beat", worker_id)`` into ``sink``
+    (any object with a ``put`` method — the worker's
+    :class:`ChannelSender`) every ``interval`` seconds, independent of
+    the worker's main loop.  The beat carries no timestamp: staleness
+    is judged entirely from the engine's own clock at receipt, so
+    clock skew between processes cannot skew liveness — a worker grinding through one heavy unit
+    still proves it is alive, so the engine's liveness detector can
+    distinguish *slow* from *dead or hung* without guessing from
+    result gaps.
+    """
+
+    def __init__(self, worker_id: int, sink, interval: float):
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(worker_id, sink, interval),
+            daemon=True,
+        )
+
+    def _run(self, worker_id, sink, interval) -> None:
+        while not self._stop.wait(interval):
+            try:
+                sink.put(("beat", worker_id))
+            except Exception:
+                return  # channel closed: the worker is exiting
+
+    def start(self) -> "Heartbeat":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
 
 
 class ModuleCache:
