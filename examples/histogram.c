@@ -1,0 +1,24 @@
+/* The two §3.1 idioms in one file: a scalar sum reduction and an
+ * indirect ("true") histogram.  `python -m repro detect` finds both;
+ * `python -m repro parallelize` outlines and runs them on the
+ * simulated multicore machine. */
+
+double a[32]; int hist[8]; int keys[32]; int n;
+
+double total(void) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s = s + a[i];
+    return s;
+}
+
+void count(void) {
+    for (int i = 0; i < n; i++) hist[keys[i]]++;
+}
+
+int main(void) {
+    n = 32;
+    for (int i = 0; i < n; i++) { a[i] = fmod(i * 0.7, 1.0); keys[i] = i % 8; }
+    count();
+    print_double(total());
+    return 0;
+}

@@ -9,7 +9,9 @@ Commands
     extension idioms with ``--extended``).  ``--spec`` adds user
     ``.icsl`` idiom files (custom idioms are matched and counted; a
     file idiom named like a built-in replaces it), ``--list-idioms``
-    prints the registry.
+    prints the registry.  ``--save-feedback`` records the run's
+    per-spec solver statistics as a feedback artifact;
+    ``--feedback-from`` re-orders every measured spec from one.
 
 ``emit FILE.c``
     Print the canonical SSA IR after the full pass pipeline.
@@ -27,7 +29,12 @@ Commands
     ``(program, function)`` units so one giant module cannot serialize
     the run; ``--weights-from REPORT.json`` balances shards by a
     previous run's measured costs; ``--save-report`` records this
-    run's digests (costs included) for later ``--weights-from`` use.
+    run's digests (costs included) for later ``--weights-from`` use;
+    ``--save-feedback``/``--feedback-from`` do the same for the
+    corpus-wide **solver feedback store** (per-spec search statistics
+    that re-order every spec's label enumeration).  A report carrying
+    ``UnitFailure`` records exits with status 3 unless
+    ``--allow-failures``.
 
 ``serve``
     Run the same corpus through the **persistent serving engine**:
@@ -40,7 +47,11 @@ Commands
     digests (later requests must — and do — still complete, the
     cancellation smoke); ``--check`` verifies the served report is
     fingerprint-identical to a serial batch run and exits non-zero on
-    mismatch.
+    mismatch.  ``--feedback-from`` warms every worker's spec orders
+    from a recorded feedback artifact, ``--self-tune`` re-derives the
+    orders from served units at every submit, and ``--save-feedback``
+    persists the session's merged store on exit; failed units exit 3
+    unless ``--allow-failures``.
 """
 
 from __future__ import annotations
@@ -68,8 +79,61 @@ def _build_registry(spec_paths):
     return registry
 
 
+def _failure_exit(failures, allow_failures: bool,
+                  describe: bool = True) -> int:
+    """Print ``UnitFailure`` records; the exit code they mandate.
+
+    The ``CorpusReport.failures`` contract: a report listing failures
+    covers only the programs that completed, so consumers must not
+    treat it as a full-corpus result by accident — ``corpus`` and
+    ``serve`` exit with status 3 unless ``--allow-failures`` says the
+    partial report is acceptable.  ``describe=False`` skips the
+    per-failure lines for callers that already streamed them.
+    """
+    if describe:
+        for failure in failures:
+            print(f"FAILED {failure.describe()}", file=sys.stderr)
+    if failures and not allow_failures:
+        print(
+            f"error: {len(failures)} unit(s) failed; the report is "
+            f"partial (pass --allow-failures to accept it)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _feedback_error(exc) -> int:
+    """Print the shared artifact-load error; the exit code (2)."""
+    print(f"error: cannot load feedback artifact: {exc}",
+          file=sys.stderr)
+    return 2
+
+
+def _load_feedback_cli(path: str):
+    """``(store, None)`` or ``(None, exit code)`` with the error printed."""
+    from .pipeline import load_feedback
+
+    try:
+        return load_feedback(path), None
+    except (OSError, ValueError) as exc:
+        return None, _feedback_error(exc)
+
+
+def _save_feedback_cli(store, path: str) -> None:
+    from .pipeline import save_feedback
+
+    save_feedback(store, path)
+    print(f"feedback saved to {path} ({store.describe()})")
+
+
 def _cmd_detect(args) -> int:
-    from .constraints import SolverContext, SpecFileError, detect as solve
+    from .constraints import (
+        SolverContext,
+        SolverStats,
+        SpecFileError,
+        detect as solve,
+    )
 
     try:
         registry = _build_registry(args.spec)
@@ -77,6 +141,14 @@ def _cmd_detect(args) -> int:
         # ValueError covers UnicodeDecodeError from non-text files.
         print(f"error: cannot load spec file: {exc}", file=sys.stderr)
         return 2
+    if args.feedback_from:
+        store, code = _load_feedback_cli(args.feedback_from)
+        if store is None:
+            return code
+        reordered = registry.apply_orders(store.spec_orders(registry))
+        if reordered:
+            names = ", ".join(entry.name for entry in reordered)
+            print(f"feedback: reordered {names}")
     if args.list_idioms:
         print(registry.describe())
         if args.file is None:
@@ -104,6 +176,8 @@ def _cmd_detect(args) -> int:
             extensions = find_extended_in_function(
                 function_reductions.function, module, registry=registry,
                 ctx=function_reductions.solver_context,
+                stats=function_reductions.stats,
+                spec_stats=function_reductions.spec_stats,
             )
             for dot in extensions.dot_products:
                 print(f"  extension dot-product {dot.name}")
@@ -115,18 +189,24 @@ def _cmd_detect(args) -> int:
     custom = registry.custom()
     if custom:
         # Reuse the analyses detection already computed per function.
-        contexts = [
-            (fr.function,
-             fr.solver_context or SolverContext(fr.function, module))
-            for fr in report.functions
-        ]
+        for fr in report.functions:
+            if fr.solver_context is None:
+                fr.solver_context = SolverContext(fr.function, module)
         for entry in custom:
             total = 0
-            for function, ctx in contexts:
-                matches = solve(ctx, entry.spec)
+            for fr in report.functions:
+                stats = SolverStats()
+                matches = solve(fr.solver_context, entry.spec, stats=stats)
+                fr.spec_stats.setdefault(
+                    entry.name, SolverStats()
+                ).merge(stats)
+                if fr.stats is not None:
+                    # Keep the documented invariant: the function
+                    # aggregate is always the merge of the breakdown.
+                    fr.stats.merge(stats)
                 if matches:
                     print(f"  custom    {entry.name}  {len(matches)} "
-                          f"match(es) in {function.name}")
+                          f"match(es) in {fr.function.name}")
                 total += len(matches)
             if total == 0:
                 print(f"  custom    {entry.name}  no matches")
@@ -139,6 +219,11 @@ def _cmd_detect(args) -> int:
         scops, reduction_scops = polly_report.counts()
         print(f"  Polly model : {scops} SCoP(s), "
               f"{reduction_scops} with reductions")
+    if args.save_feedback:
+        from .pipeline import feedback_from_detection
+
+        _save_feedback_cli(feedback_from_detection(report),
+                           args.save_feedback)
     return 0
 
 
@@ -182,14 +267,30 @@ def _cmd_parallelize(args) -> int:
 
 def _cmd_corpus(args) -> int:
     from .evaluation.discovery import run_discovery, summary_against_paper
-    from .pipeline import detect_corpus, save_report
+    from .pipeline import detect_corpus, feedback_from_report, save_report
 
+    # Resolve the feedback artifact up front through the one shared
+    # parent-side implementation (read + fingerprint-verified exactly
+    # once), so a bad file exits cleanly while genuine pipeline
+    # errors stay loud.
+    feedback_orders = None
+    if args.feedback_from:
+        from .pipeline import PipelineOptions, resolve_feedback_options
+
+        try:
+            resolved = resolve_feedback_options(
+                PipelineOptions(feedback_from=args.feedback_from)
+            )
+        except (OSError, ValueError) as exc:
+            return _feedback_error(exc)
+        feedback_orders = resolved.spec_orders
     # One pipeline run feeds both the Figure 8 panels and the
     # extension listing.
     report = detect_corpus(jobs=args.jobs, baselines=True,
                            extended=args.extended,
                            granularity=args.granularity,
-                           weights_from=args.weights_from)
+                           weights_from=args.weights_from,
+                           spec_orders=feedback_orders)
     results = {
         name: run_discovery(name, report=report)
         for name in ("NAS", "Parboil", "Rodinia")
@@ -209,7 +310,10 @@ def _cmd_corpus(args) -> int:
     if args.save_report:
         save_report(report, args.save_report)
         print(f"report saved to {args.save_report}")
-    return 0
+    if args.save_feedback:
+        _save_feedback_cli(feedback_from_report(report),
+                           args.save_feedback)
+    return _failure_exit(report.failures, args.allow_failures)
 
 
 def _cmd_serve(args) -> int:
@@ -241,9 +345,20 @@ def _cmd_serve(args) -> int:
         granularity=args.granularity,
         weights_from=args.weights_from,
         max_tasks_per_worker=args.max_tasks_per_worker,
+        feedback_from=args.feedback_from,
+        feedback_refresh=args.self_tune,
     )
     report = None
-    with ServingEngine(options) as engine:
+    failures: list = []
+    engine = ServingEngine(options)
+    try:
+        # Resolve (and fingerprint-verify) the artifact before any
+        # worker is spawned — one read, and a spawn failure can never
+        # masquerade as an artifact error.
+        engine.resolve_feedback()
+    except (OSError, ValueError) as exc:
+        return _feedback_error(exc)
+    with engine:
         for request in range(args.requests):
             job = engine.submit(priority=args.priority)
             print(f"request {request + 1}/{args.requests}: "
@@ -273,6 +388,7 @@ def _cmd_serve(args) -> int:
                 continue
             report = job.result()
             if report.failures:
+                failures.extend(report.failures)
                 for failure in report.failures:
                     print(f"  FAILED {failure.describe()}",
                           file=sys.stderr)
@@ -281,6 +397,12 @@ def _cmd_serve(args) -> int:
             print(f"workers: {engine.worker_deaths} death(s), "
                   f"{engine.resubmissions} resubmission(s), "
                   f"{engine.recycled} recycle(s)")
+        if engine.feedback_refreshes:
+            print(f"feedback: {engine.feedback_refreshes} refresh(es), "
+                  f"{engine.feedback_snapshot().describe()}")
+        if args.save_feedback:
+            _save_feedback_cli(engine.feedback_snapshot(),
+                               args.save_feedback)
     if report is None:
         print("error: every request was cancelled; nothing to report",
               file=sys.stderr)
@@ -288,16 +410,39 @@ def _cmd_serve(args) -> int:
     if args.save_report:
         save_report(report, args.save_report)
         print(f"report saved to {args.save_report}")
+    # Failures first: a partial report is guaranteed to differ from
+    # the batch engine, so running --check on it would mask the real
+    # problem behind a misleading "diverged" verdict.
+    code = _failure_exit(failures, args.allow_failures, describe=False)
+    if code:
+        return code
     if args.check:
+        # The check verifies the *last* request's report; earlier
+        # requests' accepted failures do not make it uncheckable.
+        if report.failures:
+            print("check: skipped — the accepted report is partial "
+                  "and cannot match the batch engine")
+            return 0
         from .pipeline import detect_corpus
 
         batch = detect_corpus(jobs=1, extended=args.extended,
-                              baselines=args.baselines)
-        if report.fingerprint() != batch.fingerprint():
+                              baselines=args.baselines,
+                              feedback_from=args.feedback_from)
+        # A self-tuning session may legitimately have refreshed its
+        # spec orders mid-session, moving search *effort* the batch
+        # run cannot reproduce; the detections must still agree.
+        effort = not engine.feedback_refreshes
+        note = (
+            "" if effort
+            else " (detections only: self-tuned orders moved effort)"
+        )
+        if (report.fingerprint(effort=effort)
+                != batch.fingerprint(effort=effort)):
             print("ERROR: served report diverged from the batch engine",
                   file=sys.stderr)
             return 2
-        print("check: served fingerprint identical to jobs=1 batch run")
+        print(f"check: served fingerprint identical to jobs=1 batch "
+              f"run{note}")
     return 0
 
 
@@ -319,6 +464,14 @@ def main(argv: list[str] | None = None) -> int:
                             help="load extra idiom spec file(s)")
     detect_cmd.add_argument("--list-idioms", action="store_true",
                             help="print the idiom registry")
+    detect_cmd.add_argument("--feedback-from", metavar="FEEDBACK.json",
+                            default=None,
+                            help="re-order idiom specs from a recorded "
+                                 "solver feedback artifact")
+    detect_cmd.add_argument("--save-feedback", metavar="FEEDBACK.json",
+                            default=None,
+                            help="save this run's per-spec solver "
+                                 "statistics for later --feedback-from use")
     detect_cmd.set_defaults(fn=_cmd_detect)
 
     emit_cmd = commands.add_parser("emit", help="print canonical SSA IR")
@@ -350,6 +503,17 @@ def main(argv: list[str] | None = None) -> int:
                             default=None,
                             help="save this run's digests for later "
                                  "--weights-from use")
+    corpus_cmd.add_argument("--feedback-from", metavar="FEEDBACK.json",
+                            default=None,
+                            help="re-order idiom specs from a recorded "
+                                 "solver feedback artifact")
+    corpus_cmd.add_argument("--save-feedback", metavar="FEEDBACK.json",
+                            default=None,
+                            help="save the merged corpus-wide solver "
+                                 "feedback for later --feedback-from use")
+    corpus_cmd.add_argument("--allow-failures", action="store_true",
+                            help="exit 0 even when the report records "
+                                 "failed units (default: exit 3)")
     corpus_cmd.set_defaults(fn=_cmd_corpus)
 
     serve_cmd = commands.add_parser(
@@ -384,6 +548,22 @@ def main(argv: list[str] | None = None) -> int:
     serve_cmd.add_argument("--save-report", metavar="REPORT.json",
                            default=None,
                            help="save the last request's digests")
+    serve_cmd.add_argument("--feedback-from", metavar="FEEDBACK.json",
+                           default=None,
+                           help="warm every worker's spec orders from a "
+                                "recorded solver feedback artifact")
+    serve_cmd.add_argument("--save-feedback", metavar="FEEDBACK.json",
+                           default=None,
+                           help="save the session's merged solver "
+                                "feedback (initial artifact + served "
+                                "units) on exit")
+    serve_cmd.add_argument("--self-tune", action="store_true",
+                           help="re-derive spec orders from served "
+                                "units at every submit (long-lived "
+                                "sessions tune themselves)")
+    serve_cmd.add_argument("--allow-failures", action="store_true",
+                           help="exit 0 even when requests recorded "
+                                "failed units (default: exit 3)")
     serve_cmd.add_argument("--check", action="store_true",
                            help="verify fingerprint identity with the "
                                 "jobs=1 batch engine")

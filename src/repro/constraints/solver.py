@@ -101,6 +101,12 @@ class SolverStats:
         Used to aggregate feedback across runs — several functions, or
         several enumeration orders of the same spec — before handing the
         result to :func:`suggest_order`.  Returns ``self``.
+
+        Every counter is a sum, so merging is **commutative and
+        associative** (property-tested): a corpus-wide aggregate is the
+        same whichever order the per-unit statistics arrive in — the
+        property that makes the pipeline's persisted feedback artifact
+        byte-identical between ``jobs=1`` and ``jobs=N`` runs.
         """
         self.assignments_tried += other.assignments_tried
         self.partial_rejections += other.partial_rejections
@@ -120,6 +126,84 @@ class SolverStats:
             self.candidates_per_prefix[key] = (seen_visits + visits,
                                                seen_total + total)
         return self
+
+    # -- serialization ----------------------------------------------------
+
+    def canonical(self) -> tuple:
+        """The counters as nested, deterministically-ordered tuples.
+
+        Two stats objects describe the same observations if and only if
+        their canonical forms are equal, regardless of dict insertion
+        order — the comparison (and fingerprint) form the feedback
+        store hashes.
+        """
+        return (
+            self.assignments_tried,
+            self.partial_rejections,
+            self.solutions,
+            self.fallbacks_to_universe,
+            self.constraint_evals,
+            self.proposal_cache_hits,
+            self.prefix_reuses,
+            tuple(sorted(self.candidates_per_label.items())),
+            tuple(sorted(
+                (label, tuple(sorted(bound)), visits, total)
+                for (label, bound), (visits, total)
+                in self.candidates_per_prefix.items()
+            )),
+        )
+
+    def to_jsonable(self) -> dict:
+        """Plain-JSON form, deterministically ordered.
+
+        The inverse of :meth:`from_jsonable`.  ``candidates_per_prefix``
+        keys are ``(label, frozenset)`` pairs, which JSON cannot
+        express as object keys; they serialize as sorted
+        ``[label, [bound...], visits, total]`` rows, so two equal stats
+        objects always produce byte-identical JSON.
+        """
+        return {
+            "assignments_tried": self.assignments_tried,
+            "partial_rejections": self.partial_rejections,
+            "solutions": self.solutions,
+            "fallbacks_to_universe": self.fallbacks_to_universe,
+            "constraint_evals": self.constraint_evals,
+            "proposal_cache_hits": self.proposal_cache_hits,
+            "prefix_reuses": self.prefix_reuses,
+            "candidates_per_label": dict(
+                sorted(self.candidates_per_label.items())
+            ),
+            "candidates_per_prefix": [
+                [label, sorted(bound), visits, total]
+                for (label, bound), (visits, total) in sorted(
+                    self.candidates_per_prefix.items(),
+                    key=lambda item: (item[0][0], tuple(sorted(item[0][1]))),
+                )
+            ],
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "SolverStats":
+        """Rebuild a stats object from :meth:`to_jsonable` data."""
+        return cls(
+            assignments_tried=data.get("assignments_tried", 0),
+            partial_rejections=data.get("partial_rejections", 0),
+            solutions=data.get("solutions", 0),
+            fallbacks_to_universe=data.get("fallbacks_to_universe", 0),
+            constraint_evals=data.get("constraint_evals", 0),
+            proposal_cache_hits=data.get("proposal_cache_hits", 0),
+            prefix_reuses=data.get("prefix_reuses", 0),
+            candidates_per_label=dict(data.get("candidates_per_label", {})),
+            candidates_per_prefix={
+                (label, frozenset(bound)): (visits, total)
+                for label, bound, visits, total
+                in data.get("candidates_per_prefix", [])
+            },
+        )
+
+    def copy(self) -> "SolverStats":
+        """An independent deep copy (merge mutates in place)."""
+        return SolverStats().merge(self)
 
 
 class SharedSolverCache:
@@ -451,10 +535,36 @@ def detect_brute_force(
     return results
 
 
+#: Memoized :func:`suggest_order` results, keyed by
+#: ``(spec name, current order, seeded prefix, cache token)``.  The
+#: token names the *feedback content* (the feedback store passes its
+#: fingerprint), so persistent serving workers that re-derive orders
+#: for every feedback refresh pay the greedy computation once per
+#: (spec, store-state) pair instead of once per request.  Bounded: the
+#: cache resets when it outgrows ``_ORDER_CACHE_LIMIT`` distinct keys.
+_ORDER_CACHE: dict[tuple, tuple[str, ...]] = {}
+_ORDER_CACHE_LIMIT = 512
+
+
 def suggest_order(
-    spec: IdiomSpec, feedback: SolverStats | None = None
+    spec: IdiomSpec,
+    feedback: SolverStats | None = None,
+    prefix: tuple[str, ...] = (),
+    cache_token: str | None = None,
 ) -> tuple[str, ...]:
     """An automatic enumeration order scored by proposability (§3.3).
+
+    ``prefix`` seeds the greedy placement with labels already decided
+    (they open the returned order verbatim).  A spec that ``extends``
+    a base must keep the base's label order as its prefix for the
+    solver's prefix replay to stay available, so the feedback store
+    reorders such specs with ``prefix=spec.base.label_order`` — the
+    measured statistics of a replayed search all start at the
+    fully-bound base prefix, which is exactly where the seeded greedy
+    placement resumes.
+
+    ``cache_token`` memoizes the result (see :data:`_ORDER_CACHE`);
+    pass a value that changes whenever ``feedback`` does.
 
     Greedy: repeatedly pick the label with the best chance of being
     *proposed* rather than enumerated from the universe — a label
@@ -484,12 +594,29 @@ def suggest_order(
     nothing was measured (or with ``feedback=None``) the static
     heuristic decides, unchanged.
     """
+    prefix = tuple(prefix)
+    if cache_token is not None:
+        # The constraint object itself disambiguates same-named specs
+        # (a user file replacing a built-in keeps the name but not the
+        # constraint objects) — identity addressing that also pins the
+        # object, so a recycled id() can never alias a stale entry.
+        cache_key = (spec.name, spec.constraint, spec.label_order,
+                     prefix, cache_token)
+        cached = _ORDER_CACHE.get(cache_key)
+        if cached is not None:
+            return cached
     compiled = compile_spec(spec)
     original = spec.label_order
     position = {label: i for i, label in enumerate(original)}
     per_prefix = dict(feedback.candidates_per_prefix) if feedback else {}
-    placed: list[str] = []
-    placed_set: set[str] = set()
+    unknown = [label for label in prefix if label not in position]
+    if unknown:
+        raise ValueError(
+            f"spec {spec.name!r}: prefix labels {unknown} are not in the "
+            f"label order"
+        )
+    placed: list[str] = list(prefix)
+    placed_set: set[str] = set(prefix)
 
     def score(label: str) -> float:
         best = 0.0
@@ -538,4 +665,9 @@ def suggest_order(
             )
         placed.append(best_label)
         placed_set.add(best_label)
-    return tuple(placed)
+    result = tuple(placed)
+    if cache_token is not None:
+        if len(_ORDER_CACHE) >= _ORDER_CACHE_LIMIT:
+            _ORDER_CACHE.clear()
+        _ORDER_CACHE[cache_key] = result
+    return result

@@ -31,6 +31,10 @@ class DiscoveryRow:
     icc: int
     polly: int
     expected_ok: bool
+    #: True when the pipeline abandoned the program's units (see
+    #: :attr:`~repro.pipeline.CorpusReport.failures`); the counts are
+    #: zeros and must not be mistaken for "nothing detected".
+    failed: bool = False
 
 
 @dataclass
@@ -39,6 +43,15 @@ class DiscoveryResult:
 
     suite: str
     rows: list[DiscoveryRow] = field(default_factory=list)
+    #: The report's :class:`~repro.pipeline.UnitFailure` records for
+    #: this suite — surfaced on the panel so a partial report can never
+    #: silently masquerade as a full one.
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """All rows matched the paper *and* no unit failed."""
+        return not self.failures and all(r.expected_ok for r in self.rows)
 
     @property
     def totals(self) -> tuple[int, int, int, int]:
@@ -54,18 +67,27 @@ class DiscoveryResult:
         """The Figure 8 panel as a table."""
         rows = [
             [r.benchmark, r.ours_scalars, r.ours_histograms, r.icc,
-             r.polly, "ok" if r.expected_ok else "MISMATCH"]
+             r.polly,
+             "FAILED" if r.failed
+             else ("ok" if r.expected_ok else "MISMATCH")]
             for r in self.rows
         ]
         scalars, histograms, icc_total, polly_total = self.totals
         rows.append(
             ["TOTAL", scalars, histograms, icc_total, polly_total, ""]
         )
-        return table(
+        text = table(
             ["benchmark", "scalar", "histogram", "icc", "polly", "check"],
             rows,
             title=f"Figure 8 ({self.suite}): reductions detected",
         )
+        if self.failures:
+            lines = [text, "", f"{len(self.failures)} FAILED unit(s):"]
+            lines.extend(
+                f"  {failure.describe()}" for failure in self.failures
+            )
+            text = "\n".join(lines)
+        return text
 
 
 def run_discovery(
@@ -74,6 +96,7 @@ def run_discovery(
     report: CorpusReport | None = None,
     granularity: str = "program",
     weights_from: str | None = None,
+    feedback_from: str | None = None,
 ) -> DiscoveryResult:
     """Reproduce one panel of Figure 8.
 
@@ -81,15 +104,39 @@ def run_discovery(
     shares one batched run across all three panels); otherwise the
     pipeline runs here, sharded over ``jobs`` worker processes at the
     requested granularity — the panels are identical either way, by
-    the pipeline's fingerprint contract.
+    the pipeline's fingerprint contract (feedback-reordered runs
+    included: a reorder moves search cost, never detections).
+
+    A report carrying :class:`~repro.pipeline.UnitFailure` records —
+    a served run whose units exhausted their retry budget — renders
+    those programs as ``FAILED`` rows (zero counts, never
+    ``expected_ok``) and lists the failures under the panel, so a
+    partial report is visibly partial.
     """
     if report is None:
         report = detect_corpus(
             jobs=jobs, baselines=True, suites=(suite_name,),
             granularity=granularity, weights_from=weights_from,
+            feedback_from=feedback_from,
         )
     result = DiscoveryResult(suite_name)
+    failed_keys = {
+        failure.key for failure in report.failures
+    }
+    result.failures = [
+        failure for failure in report.failures
+        if failure.suite == suite_name
+    ]
     for program in suite(suite_name):
+        if (program.name, program.suite) in failed_keys:
+            result.rows.append(
+                DiscoveryRow(
+                    benchmark=program.name,
+                    ours_scalars=0, ours_histograms=0, icc=0, polly=0,
+                    expected_ok=False, failed=True,
+                )
+            )
+            continue
         digest = report.program(program.name, program.suite)
         scalars, histograms = digest.counts()
         icc_count = digest.icc
@@ -117,11 +164,13 @@ def run_all_discovery(
     jobs: int = 1,
     granularity: str = "program",
     weights_from: str | None = None,
+    feedback_from: str | None = None,
 ) -> dict[str, DiscoveryResult]:
     """All three Figure 8 panels from one batched pipeline run."""
     report = detect_corpus(jobs=jobs, baselines=True,
                            granularity=granularity,
-                           weights_from=weights_from)
+                           weights_from=weights_from,
+                           feedback_from=feedback_from)
     return {
         name: run_discovery(name, report=report)
         for name in ("NAS", "Parboil", "Rodinia")

@@ -66,7 +66,45 @@ def find_reductions_in_function(
 
     def run(spec):
         cache = ctx.solver_cache if shared_cache else SharedSolverCache()
-        return detect(ctx, spec, stats=stats, cache=cache)
+        # Each spec records into its own stats object — the feedback
+        # store's per-spec signal — then merges into the function-wide
+        # aggregate, so the total effort is exactly what a single
+        # shared counter would have seen.
+        spec_stat = SolverStats()
+        solutions = detect(ctx, spec, stats=spec_stat, cache=cache)
+        result.spec_stats.setdefault(
+            spec.name, SolverStats()
+        ).merge(spec_stat)
+        stats.merge(spec_stat)
+        return solutions
+
+    def presolve_base(spec):
+        """Solve a spec's base prefix up front, attributed to the
+        base's own name.
+
+        The shared cache would compute the base lazily inside the
+        first extending spec's search (charging the effort to *that*
+        spec); solving it here costs exactly the same evals — the
+        search runs once either way, so function totals and
+        fingerprints are untouched — but records the base's
+        enumeration statistics under the base spec's name, giving the
+        feedback store an ordering signal for the base itself.
+        """
+        base = spec.base
+        if base is None or ctx.solver_cache.solutions_for(base) is not None:
+            return
+        base_stat = SolverStats()
+        solutions = detect(ctx, base, stats=base_stat,
+                           cache=ctx.solver_cache)
+        ctx.solver_cache.store_solutions(base, solutions)
+        result.spec_stats.setdefault(
+            base.name, SolverStats()
+        ).merge(base_stat)
+        stats.merge(base_stat)
+
+    if shared_cache:
+        presolve_base(scalar_spec)
+        presolve_base(histogram_spec)
 
     seen_scalars: set[tuple[int, int]] = set()
     for assignment in run(scalar_spec):

@@ -292,6 +292,7 @@ def find_extended_in_function(
     ctx: SolverContext | None = None,
     stats: SolverStats | None = None,
     shared_cache: bool = True,
+    spec_stats: dict[str, SolverStats] | None = None,
 ) -> FunctionExtensions:
     """Run the three extension idioms on one function.
 
@@ -300,7 +301,9 @@ def find_extended_in_function(
     shares every cached analysis *and* the solved for-loop prefix with
     the scalar/histogram searches — the pipeline's cache-sharing path.
     ``shared_cache=False`` gives every spec private solver state (the
-    PR-1 baseline).
+    PR-1 baseline).  ``spec_stats`` collects each extension spec's
+    search effort under its own name (the solver feedback store's
+    per-spec signal) in addition to the ``stats`` aggregate.
     """
     from ..constraints import SharedSolverCache
     from .registry import default_registry
@@ -312,7 +315,13 @@ def find_extended_in_function(
 
     def run(spec):
         cache = ctx.solver_cache if shared_cache else SharedSolverCache()
-        return detect(ctx, spec, stats=stats, cache=cache)
+        local = SolverStats()
+        solutions = detect(ctx, spec, stats=local, cache=cache)
+        if spec_stats is not None:
+            spec_stats.setdefault(spec.name, SolverStats()).merge(local)
+        if stats is not None:
+            stats.merge(local)
+        return solutions
 
     for assignment in run(registry.spec("dot-product")):
         key = ("dot", id(assignment["header"]), id(assignment["acc"]))

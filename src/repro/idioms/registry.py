@@ -160,6 +160,66 @@ class IdiomRegistry:
             for spec in specs.values()
         ]
 
+    def apply_orders(
+        self, orders: "dict[str, tuple[str, ...]] | None"
+    ) -> list[RegisteredIdiom]:
+        """Re-register idioms with new label enumeration orders.
+
+        ``orders`` maps idiom names to permutations of their label
+        sets — the form the solver-feedback store derives from recorded
+        :class:`~repro.constraints.SolverStats` (and the pipeline ships
+        to its workers as ``PipelineOptions.spec_orders``).  Entries
+        for unregistered idioms are ignored, so one corpus-wide store
+        can serve registries with different custom spec files loaded.
+
+        Two invariants keep a reorder *safe*:
+
+        * an order must be a permutation of the spec's labels (checked
+          here) — so solutions are unchanged by construction, and the
+          :data:`REQUIRED_LABELS` contract keeps holding;
+        * a spec that ``extends`` a base keeps the base's (possibly
+          reordered) label order as its prefix — enforced by
+          re-prefixing, so the solver's prefix replay survives any
+          reorder.  Extending specs are rebuilt whenever their base
+          was, even without an explicit entry, so base and extension
+          always agree on one enumeration of the shared labels.
+
+        Returns the entries that were actually rebuilt.
+        """
+        if not orders:
+            return []
+        rebuilt: dict[str, IdiomSpec] = {}
+        changed: list[RegisteredIdiom] = []
+        for entry in list(self):
+            spec = entry.spec
+            base = spec.base
+            if base is not None and base.name in rebuilt:
+                base = rebuilt[base.name]
+            order = orders.get(spec.name)
+            if order is None and base is spec.base:
+                continue
+            new_order = tuple(order) if order is not None else spec.label_order
+            if set(new_order) != set(spec.label_order) or (
+                len(new_order) != len(spec.label_order)
+            ):
+                raise SpecFileError(
+                    f"idiom {spec.name!r}: order {new_order} is not a "
+                    f"permutation of the spec's labels"
+                )
+            if base is not None:
+                base_labels = set(base.label_order)
+                new_order = tuple(base.label_order) + tuple(
+                    label for label in new_order
+                    if label not in base_labels
+                )
+            if new_order == spec.label_order and base is spec.base:
+                continue
+            new_spec = IdiomSpec(spec.name, new_order, spec.constraint,
+                                 base=base)
+            rebuilt[spec.name] = new_spec
+            changed.append(self.register(new_spec, source=entry.source))
+        return changed
+
     # -- lookup -----------------------------------------------------------
 
     def spec(self, name: str) -> IdiomSpec:

@@ -113,6 +113,11 @@ class FunctionReductions:
     #: Search-effort counters accumulated across the specs run on this
     #: function (the pipeline's ``constraint_evals`` metric).
     stats: SolverStats | None = None
+    #: The same effort broken down **per spec name** — the raw material
+    #: of the solver feedback store.  ``stats`` is always the merge of
+    #: these (plus whatever extension-stage searches charged to it), so
+    #: the aggregate metric cannot drift from the breakdown.
+    spec_stats: dict[str, SolverStats] = field(default_factory=dict)
 
 
 @dataclass

@@ -63,6 +63,15 @@ from .engine import (
     detect_corpus,
     merge_digests,
     merge_unit_digests,
+    resolve_feedback_options,
+)
+from .feedback import (
+    FeedbackStore,
+    canonical_orders,
+    feedback_from_detection,
+    feedback_from_report,
+    load_feedback,
+    save_feedback,
 )
 from .options import PipelineOptions
 from .serving import (
@@ -121,4 +130,11 @@ __all__ = [
     "report_from_json",
     "load_report",
     "save_report",
+    "FeedbackStore",
+    "canonical_orders",
+    "feedback_from_detection",
+    "feedback_from_report",
+    "load_feedback",
+    "save_feedback",
+    "resolve_feedback_options",
 ]

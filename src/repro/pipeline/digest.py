@@ -16,6 +16,7 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from ..constraints import SolverStats
 from ..idioms.extensions import ExtendedReport, FunctionExtensions
 from ..idioms.reports import DetectionReport
 
@@ -111,10 +112,32 @@ class UnitDigest:
     #: Wall-clock per pipeline stage — informational only.
     stage_seconds: dict = field(default_factory=dict, compare=False,
                                 hash=False)
+    #: Per-spec solver statistics (spec name →
+    #: :class:`~repro.constraints.SolverStats`) — the feedback store's
+    #: raw material.  Deterministic per unit (each function has its own
+    #: solver context), but ``compare=False`` like the timings: the
+    #: fingerprint contract is about *detections and total effort*, and
+    #: the feedback artifact has its own fingerprint.
+    spec_stats: dict = field(default_factory=dict, compare=False,
+                             hash=False)
 
     @property
     def key(self) -> tuple[str, str]:
         return (self.name, self.suite)
+
+
+def merge_spec_stats(units) -> dict:
+    """Per-spec stats summed across digests, into fresh objects.
+
+    Order-canonical by construction — :meth:`SolverStats.merge
+    <repro.constraints.SolverStats.merge>` only sums — so any arrival
+    order of the same units produces an equal mapping.
+    """
+    merged: dict[str, SolverStats] = {}
+    for unit in units:
+        for name, stats in unit.spec_stats.items():
+            merged.setdefault(name, SolverStats()).merge(stats)
+    return merged
 
 
 def assemble_program(units) -> ProgramDigest:
@@ -172,6 +195,7 @@ def assemble_program(units) -> ProgramDigest:
         polly_scops=lead.polly_scops if lead else None,
         polly_reductions=lead.polly_reductions if lead else None,
         stage_seconds=stage_seconds,
+        spec_stats=merge_spec_stats(units),
     )
 
 
@@ -190,6 +214,11 @@ class ProgramDigest:
     #: Wall-clock per pipeline stage — informational only.
     stage_seconds: dict = field(default_factory=dict, compare=False,
                                 hash=False)
+    #: Per-spec solver statistics summed over the program's units —
+    #: see :attr:`UnitDigest.spec_stats`.  Aggregated corpus-wide by
+    #: :func:`~repro.pipeline.feedback.feedback_from_report`.
+    spec_stats: dict = field(default_factory=dict, compare=False,
+                             hash=False)
 
     @property
     def key(self) -> tuple[str, str]:
@@ -399,6 +428,14 @@ def report_to_json(report: CorpusReport) -> dict:
                 "polly_scops": p.polly_scops,
                 "polly_reductions": p.polly_reductions,
                 "stage_seconds": dict(p.stage_seconds),
+                # Per-spec solver statistics ride along (like the
+                # timings, outside the fingerprint) so a saved report
+                # remains a valid feedback_from_report source after a
+                # load_report round trip.
+                "spec_stats": {
+                    name: p.spec_stats[name].to_jsonable()
+                    for name in sorted(p.spec_stats)
+                },
             }
             for p in report.programs
         ],
@@ -448,6 +485,10 @@ def report_from_json(data: dict) -> CorpusReport:
             polly_scops=p["polly_scops"],
             polly_reductions=p["polly_reductions"],
             stage_seconds=dict(p.get("stage_seconds", {})),
+            spec_stats={
+                name: SolverStats.from_jsonable(stats)
+                for name, stats in p.get("spec_stats", {}).items()
+            },
         )
         for p in data["programs"]
     )

@@ -108,6 +108,49 @@ def planned_keys(options: PipelineOptions) -> list[Key]:
     return keys
 
 
+def resolve_feedback_with_store(
+    options: PipelineOptions, registry=None
+) -> tuple:
+    """``(resolved options, loaded FeedbackStore | None)``.
+
+    The single implementation of the feedback-resolution invariant:
+    the artifact is read (and fingerprint-verified) **once, in the
+    parent** — a bad artifact fails before any worker is spawned, and
+    what ships to workers is the derived plain-data order mapping,
+    never a path every process would re-read.  Options with explicit
+    ``spec_orders`` — or no feedback at all — pass through unchanged
+    with no store.  ``registry`` supplies the pristine registry orders
+    are derived against (built from the options when omitted); the
+    serving engine passes its own so it can keep the loaded store as
+    the seed of its live, self-tuning feedback.
+    """
+    if not options.feedback_from or options.spec_orders is not None:
+        return options, None
+    import dataclasses
+
+    from .feedback import canonical_orders, load_feedback
+    from .worker import _build_registry
+
+    store = load_feedback(options.feedback_from)
+    if registry is None:
+        registry = _build_registry(
+            dataclasses.replace(options, feedback_from=None)
+        )
+    orders = canonical_orders(store.spec_orders(registry))
+    if orders is None:
+        # The store suggests no change (it usually reproduces the
+        # recorded orders exactly); drop the path so workers skip the
+        # standalone-fallback reload too.
+        return dataclasses.replace(options, feedback_from=None), store
+    return dataclasses.replace(options, spec_orders=orders), store
+
+
+def resolve_feedback_options(options: PipelineOptions) -> PipelineOptions:
+    """Options with ``feedback_from`` resolved into ``spec_orders``
+    (see :func:`resolve_feedback_with_store`)."""
+    return resolve_feedback_with_store(options)[0]
+
+
 def resolve_weight_source(
     options: PipelineOptions,
     weights: "CorpusReport | Callable | None" = None,
@@ -150,7 +193,7 @@ class DetectionPipeline:
         :func:`resolve_weight_source`); sharding happens in the parent
         process, so the source never crosses a process boundary.
         """
-        options = self.options
+        options = resolve_feedback_options(self.options)
         keys = list(keys) if keys is not None else self.keys()
         started = time.perf_counter()
         units = plan_units(keys, options.granularity,
@@ -162,7 +205,7 @@ class DetectionPipeline:
                 run_unit_shard(shard, options) for shard in shards
             ]
         else:
-            shard_results = self._run_pool(shards)
+            shard_results = self._run_pool(shards, options)
         programs = merge_unit_digests(shard_results, keys)
         return CorpusReport(
             programs=programs,
@@ -170,8 +213,8 @@ class DetectionPipeline:
             wall_seconds=time.perf_counter() - started,
         )
 
-    def _run_pool(self, shards):
-        options = self.options
+    def _run_pool(self, shards, options: PipelineOptions | None = None):
+        options = options if options is not None else self.options
         method = options.start_method
         if method is None:
             method = (
@@ -199,8 +242,21 @@ def detect_corpus(
     split_threshold: int = 1,
     weights_from: str | None = None,
     weights: "CorpusReport | Callable | None" = None,
+    feedback_from: str | None = None,
+    spec_orders=None,
 ) -> CorpusReport:
-    """Detect reductions across the corpus, optionally in parallel."""
+    """Detect reductions across the corpus, optionally in parallel.
+
+    ``feedback_from`` re-orders every measured idiom spec from a
+    recorded solver feedback artifact
+    (:func:`~repro.pipeline.feedback.save_feedback`); ``spec_orders``
+    pins explicit label orders instead (idiom name → label tuple) and
+    **takes precedence** — when both are given the artifact is
+    ignored, since explicit orders are exactly the resolved form a
+    feedback artifact produces.  Either way the detections are
+    unchanged — only the search order, and therefore the
+    constraint-eval cost, moves.
+    """
     options = PipelineOptions(
         jobs=jobs,
         extended=extended,
@@ -212,5 +268,7 @@ def detect_corpus(
         granularity=granularity,
         split_threshold=split_threshold,
         weights_from=weights_from,
+        feedback_from=feedback_from,
+        spec_orders=spec_orders,
     )
     return DetectionPipeline(options).run(keys=keys, weights=weights)

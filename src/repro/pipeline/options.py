@@ -47,6 +47,26 @@ class PipelineOptions:
     #: (measured-cost balancing) instead of the static source-length
     #: proxy.
     weights_from: str | None = None
+    #: Path to a solver feedback artifact
+    #: (:func:`~repro.pipeline.feedback.save_feedback`); the recorded
+    #: per-spec statistics re-order every measured idiom spec via
+    #: ``suggest_order(feedback=...)`` before detection.  Resolved once
+    #: in the parent (into :attr:`spec_orders`) so workers never
+    #: re-read or re-verify the file.
+    feedback_from: str | None = None
+    #: Explicit label enumeration orders (idiom name → label tuple),
+    #: applied to every worker registry via
+    #: :meth:`~repro.idioms.registry.IdiomRegistry.apply_orders`.
+    #: Accepts a mapping or canonical pair-tuples; normalized to the
+    #: sorted tuple form so options stay hashable and picklable.
+    #: Usually derived from :attr:`feedback_from`; set directly to pin
+    #: orders by hand (the benchmark's static-order baseline).
+    spec_orders: "tuple | dict | None" = None
+    #: Serving engine only: re-derive the spec orders from feedback
+    #: accumulated off completed units at every ``submit`` — long-lived
+    #: serving sessions self-tune.  Off by default so a default serve
+    #: run stays bit-comparable to the batch engine (`--check`).
+    feedback_refresh: bool = False
     #: Serving engine only: recycle a worker process after it has
     #: completed this many units (None = never).  Recycling bounds the
     #: memory a long-lived worker's caches can accumulate and proves
@@ -88,3 +108,9 @@ class PipelineOptions:
         object.__setattr__(self, "spec_files", tuple(self.spec_files))
         if self.suites is not None:
             object.__setattr__(self, "suites", tuple(self.suites))
+        if self.spec_orders is not None:
+            from .feedback import canonical_orders
+
+            object.__setattr__(
+                self, "spec_orders", canonical_orders(self.spec_orders)
+            )

@@ -74,7 +74,12 @@ from .digest import (
     UnitFailure,
     assemble_program,
 )
-from .engine import planned_keys, resolve_weight_source
+from .engine import (
+    planned_keys,
+    resolve_feedback_with_store,
+    resolve_weight_source,
+)
+from .feedback import FeedbackStore, canonical_orders
 from .options import PipelineOptions
 from .shard import WorkUnit, lpt_order, plan_units
 from .worker import (
@@ -190,15 +195,28 @@ class PriorityScheduler:
         )
 
 
+#: How many feedback-reordered registries one worker keeps warm.  Each
+#: distinct orders mapping (one per feedback refresh that changed
+#: something) gets its own registry; tasks carry their orders, so an
+#: evicted registry is simply rebuilt — correctness never depends on
+#: the cache.
+_WORKER_REGISTRY_CACHE = 8
+
+
 def serve_worker(worker_id: int, task_queue, result_conn,
                  options: PipelineOptions, stop=None) -> None:
     """One persistent worker process.
 
-    Pulls ``(job_id, unit)`` tasks from its **own** queue until the
-    ``None`` sentinel (or the ``stop`` event is set — draining a queue
-    from the parent races the queue's feeder thread, so shutdown needs
-    a signal workers check themselves), keeping the idiom registry and
-    compiled modules warm across tasks — and across jobs.  Results
+    Pulls ``(job_id, unit, spec_orders)`` tasks from its **own** queue
+    until the ``None`` sentinel (or the ``stop`` event is set —
+    draining a queue from the parent races the queue's feeder thread,
+    so shutdown needs a signal workers check themselves), keeping the
+    idiom registry and compiled modules warm across tasks — and across
+    jobs.  ``spec_orders`` is the job's feedback-derived label-order
+    mapping (None = the options-level orders the worker booted with):
+    self-contained per task, so a job submitted before a feedback
+    refresh keeps its orders even while newer jobs run reordered — the
+    per-job determinism the fingerprint contract needs.  Results
     and heartbeats go out on the worker's **private result pipe**
     (``result_conn``): one writer per channel, so a worker killed
     mid-send can corrupt at most its own pipe — never a lock the
@@ -215,13 +233,22 @@ def serve_worker(worker_id: int, task_queue, result_conn,
         worker_id, sender, options.heartbeat_interval
     ).start()
     try:
-        registry = _build_registry(options)
+        registries: dict = {None: _build_registry(options)}
         modules = ModuleCache()
         while True:
             task = task_queue.get()
             if task is None or (stop is not None and stop.is_set()):
                 break
-            job_id, unit = task
+            job_id, unit, orders = task
+            registry = registries.get(orders)
+            if registry is None:
+                registry = _build_registry(options, orders=dict(orders))
+                while len(registries) > _WORKER_REGISTRY_CACHE:
+                    stale = next(
+                        key for key in registries if key is not None
+                    )
+                    del registries[stale]
+                registries[orders] = registry
             try:
                 digest = detect_unit(unit, options, registry, modules)
                 sender.put(
@@ -284,6 +311,10 @@ class ServingJob:
         self._cancelled = False
         self._started = time.perf_counter()
         self._wall: float | None = None
+        #: Feedback-derived label orders pinned at submit time (None =
+        #: the orders the workers booted with); shipped with every one
+        #: of the job's tasks.
+        self._spec_orders = None
 
     @property
     def done(self) -> bool:
@@ -324,13 +355,15 @@ class ServingJob:
             self._wall = time.perf_counter() - self._started
         return True
 
-    def _deliver(self, digest: UnitDigest) -> None:
+    def _deliver(self, digest: UnitDigest) -> bool:
+        """Account one unit result; False when it was a duplicate."""
         if not self._account(digest.key, digest.function):
-            return
+            return False
         self._by_key.setdefault(digest.key, []).append(digest)
         if (self._remaining[digest.key] == 0
                 and digest.key not in self._failed_keys):
             self._completed.append(assemble_program(self._by_key[digest.key]))
+        return True
 
     def _fail(self, unit: WorkUnit, message: str) -> None:
         if not self._account(unit.key, unit.function):
@@ -459,6 +492,19 @@ class ServingEngine:
         #: per request.
         self._weight_source = None
         self._weight_source_resolved = False
+        #: Solver feedback state.  ``_feedback`` is the live store
+        #: (seeded from ``feedback_from``, grown from completed units);
+        #: ``_feedback_accum`` holds statistics accumulated since the
+        #: last refresh; ``_current_orders`` is the canonical orders
+        #: mapping jobs are currently submitted under (None = the
+        #: orders the workers booted with).  Feedback state survives
+        #: ``shutdown`` — a restarted engine keeps what it learned.
+        self._feedback: FeedbackStore | None = None
+        self._feedback_accum = FeedbackStore()
+        self._current_orders = None
+        self._worker_options: PipelineOptions | None = None
+        self._pristine_registry = None
+        self.feedback_refreshes = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -482,9 +528,45 @@ class ServingEngine:
         self._context = multiprocessing.get_context(method)
         self._stop = self._context.Event()
         self._scheduler = PriorityScheduler()
+        self.resolve_feedback()
         for _ in range(self.workers):
             self._spawn_worker()
         return self
+
+    def _registry(self):
+        """The parent-side pristine registry (order derivation only).
+
+        Orders are always derived against the *authored* spec
+        definitions, never against already-reordered ones, so a
+        self-tuning session cannot chase its own tail.
+        """
+        if self._pristine_registry is None:
+            import dataclasses
+
+            self._pristine_registry = _build_registry(
+                dataclasses.replace(self.options, feedback_from=None,
+                                    spec_orders=None)
+            )
+        return self._pristine_registry
+
+    def resolve_feedback(self) -> None:
+        """Derive the boot options via the shared parent-side
+        resolution (:func:`~repro.pipeline.engine.
+        resolve_feedback_with_store`); the loaded store seeds the live
+        feedback the engine keeps refreshing when ``feedback_refresh``
+        is on.
+
+        Idempotent, spawns nothing, and runs automatically at
+        :meth:`start`; callers that want artifact errors separated
+        from worker-spawn errors (the CLI) may invoke it first.
+        """
+        if self._worker_options is not None:
+            return
+        self._worker_options, store = resolve_feedback_with_store(
+            self.options, registry=self._registry()
+        )
+        if store is not None:
+            self._feedback = store
 
     def _spawn_worker(self) -> _WorkerHandle:
         worker_id = next(self._worker_ids)
@@ -493,7 +575,7 @@ class ServingEngine:
         process = self._context.Process(
             target=serve_worker,
             args=(worker_id, task_queue, writer,
-                  self.options, self._stop),
+                  self._worker_options or self.options, self._stop),
             daemon=True,
         )
         process.start()
@@ -582,6 +664,8 @@ class ServingEngine:
         # (rightly) drops — the job must expect each unit once.
         keys = list(dict.fromkeys(keys))
         started_here = not self.running
+        if self.options.feedback_refresh:
+            self._refresh_feedback()
         job = None
         try:
             options = self.options
@@ -599,6 +683,11 @@ class ServingEngine:
                 self.start()
             job = ServingJob(self, next(self._job_ids), keys, len(units),
                              priority)
+            # The job's orders are pinned at submit time: every unit of
+            # the job — resubmissions after worker deaths included —
+            # runs under them, so one job is internally deterministic
+            # even while later submits pick up refreshed feedback.
+            job._spec_orders = self._current_orders
             self._jobs[job.job_id] = job
             for unit in ordered:
                 job._expect(unit)
@@ -624,6 +713,61 @@ class ServingEngine:
         return self.submit(keys, weights=weights,
                            priority=priority).result()
 
+    # -- solver feedback -----------------------------------------------------
+
+    def _refresh_feedback(self) -> None:
+        """Fold accumulated unit statistics into the live store and
+        re-derive the spec orders new submits run under.
+
+        Called at ``submit`` when ``feedback_refresh`` is on — the
+        self-tuning loop: completed units feed the store, the store
+        re-orders the next request's searches.  Orders are derived from
+        the pristine registry and usually reproduce the orders that
+        generated the feedback (cost-aware ``suggest_order`` replays
+        the cheapest measured continuation), so a converged session
+        refreshes into a no-op.
+        """
+        if not self._feedback_accum:
+            return
+        if self._feedback is None:
+            self._feedback = FeedbackStore()
+        self._feedback.merge(self._feedback_accum)
+        self._feedback_accum = FeedbackStore()
+        orders = canonical_orders(
+            self._feedback.spec_orders(self._registry())
+        )
+        boot_orders = (
+            self._worker_options.spec_orders
+            if self._worker_options is not None else None
+        )
+        if orders is None and boot_orders:
+            # The refreshed store recommends the *authored* orders, but
+            # the workers booted with artifact-derived ones — None
+            # would mean "boot orders", so say "authored" explicitly
+            # (an empty mapping applies no reorder in the worker).
+            orders = ()
+        elif orders == boot_orders:
+            # Converged on what the workers already run: ship None so
+            # they keep their boot registry instead of caching an
+            # identical rebuild.
+            orders = None
+        self._current_orders = orders
+        self.feedback_refreshes += 1
+
+    def feedback_snapshot(self) -> FeedbackStore:
+        """The engine's merged solver feedback, as an isolated copy.
+
+        Initial ``feedback_from`` seed plus everything accumulated off
+        completed units so far (whether or not ``feedback_refresh`` is
+        on) — the store ``--save-feedback`` persists at the end of a
+        serving session.
+        """
+        snapshot = FeedbackStore()
+        if self._feedback is not None:
+            snapshot.merge(self._feedback)
+        snapshot.merge(self._feedback_accum)
+        return snapshot
+
     # -- job bookkeeping -----------------------------------------------------
 
     def _cancel(self, job: ServingJob) -> int:
@@ -648,9 +792,10 @@ class ServingEngine:
                 if entry is None:
                     return
                 job_id, unit, attempt, cls = entry
-                if job_id not in self._jobs:
+                job = self._jobs.get(job_id)
+                if job is None:
                     continue  # cancelled or abandoned; drop the unit
-                handle.queue.put((job_id, unit))
+                handle.queue.put((job_id, unit, job._spec_orders))
                 handle.assignment = (job_id, unit, attempt, cls)
                 break
 
@@ -741,8 +886,15 @@ class ServingEngine:
             return  # cancelled or abandoned job; drop the result
         if error is not None:
             job._fail(unit, error)
-        else:
-            job._deliver(digest)
+        elif job._deliver(digest):
+            # Feed the live feedback store — every *accounted* unit
+            # contributes its per-spec search statistics (behind the
+            # job's duplicate guard, so a unit resubmitted after a
+            # false death verdict can never be counted twice): a
+            # serving session's artifact covers exactly the work its
+            # jobs accepted.
+            for name, stats in digest.spec_stats.items():
+                self._feedback_accum.merge_stats(name, stats)
         if job.done:
             self._jobs.pop(job_id, None)
 

@@ -47,12 +47,31 @@ from .options import PipelineOptions
 from .shard import WorkUnit
 
 
-def _build_registry(options: PipelineOptions):
+def _build_registry(options: PipelineOptions, orders=None):
+    """One worker's idiom registry, feedback orders applied.
+
+    ``orders`` overrides the options-level spec orders (the serving
+    engine ships refreshed orders per task); otherwise
+    ``options.spec_orders`` applies — and, for standalone
+    :func:`detect_unit` callers whose options were never resolved by a
+    pipeline driver, ``options.feedback_from`` is loaded here as the
+    fallback.
+    """
     from ..idioms.registry import IdiomRegistry
 
     registry = IdiomRegistry()
     for path in options.spec_files:
         registry.load_file(path)
+    if orders is None:
+        orders = options.spec_orders
+        if orders is None and options.feedback_from:
+            from .feedback import load_feedback
+
+            orders = load_feedback(options.feedback_from).spec_orders(
+                registry
+            )
+    if orders:
+        registry.apply_orders(dict(orders))
     return registry
 
 
@@ -182,10 +201,12 @@ def detect_unit(
         targets = [defined[index]]
         total = len(defined)
 
+    from ..constraints import SolverStats
     from ..idioms.detect import find_reductions_in_function
 
     functions = []
     extended: tuple = ()
+    spec_stats: dict[str, SolverStats] = {}
     detect_seconds = extend_seconds = 0.0
     for function in targets:
         started = time.perf_counter()
@@ -206,9 +227,12 @@ def detect_unit(
                 ctx=fr.solver_context if options.shared_cache else None,
                 stats=fr.stats,
                 shared_cache=options.shared_cache,
+                spec_stats=fr.spec_stats,
             )
             extended = extended + digest_extensions(matches)
             extend_seconds += time.perf_counter() - started
+        for name, stats in fr.spec_stats.items():
+            spec_stats.setdefault(name, SolverStats()).merge(stats)
         functions.append(digest_function(fr))
     stage_seconds["detect"] = detect_seconds
     if options.extended:
@@ -232,6 +256,7 @@ def detect_unit(
         polly_scops=polly_scops,
         polly_reductions=polly_reductions,
         stage_seconds=stage_seconds,
+        spec_stats=spec_stats,
     )
 
 

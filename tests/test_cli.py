@@ -102,6 +102,36 @@ def test_detect_without_file_or_list_flag_errors(capsys):
     assert "FILE.c" in capsys.readouterr().err
 
 
+def test_detect_feedback_round_trip(source_file, tmp_path, capsys):
+    feedback = tmp_path / "feedback.json"
+    assert main(["detect", source_file, "--extended",
+                 "--save-feedback", str(feedback)]) == 0
+    out = capsys.readouterr().out
+    assert "feedback saved to" in out
+    assert feedback.exists()
+    assert main(["detect", source_file, "--extended",
+                 "--feedback-from", str(feedback)]) == 0
+    out = capsys.readouterr().out
+    assert "1 scalar reduction(s), 1 histogram reduction(s)" in out
+
+
+def test_detect_reports_bad_feedback_artifact(source_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 99, \"specs\": {}}")
+    assert main(["detect", source_file, "--feedback-from", str(bad)]) == 2
+    assert "cannot load feedback artifact" in capsys.readouterr().err
+
+
+def test_corpus_feedback_round_trip(tmp_path, capsys):
+    feedback = tmp_path / "corpus-feedback.json"
+    assert main(["corpus", "--save-feedback", str(feedback)]) == 0
+    out = capsys.readouterr().out
+    assert "feedback saved to" in out
+    assert main(["corpus", "--feedback-from", str(feedback)]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8 (NAS): reductions detected" in out
+
+
 def test_detect_with_user_spec_file(source_file, tmp_path, capsys):
     spec = tmp_path / "rmw.icsl"
     spec.write_text(

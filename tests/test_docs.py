@@ -1,0 +1,130 @@
+"""Documentation smoke tests: documented commands cannot rot.
+
+Every fenced ``python`` and ``shell``/``bash``/``sh`` block in
+``README.md`` and ``docs/*.md`` is extracted and executed — python
+blocks as subprocess scripts, shell blocks line-wise through the
+shell — inside a sandbox directory holding symlinks to ``src`` and
+``examples`` (so ``PYTHONPATH=src`` and ``examples/foo.c`` resolve,
+while artifacts like ``feedback.json`` land in the sandbox, not the
+repository).  Blocks within one document share the sandbox and run in
+order, so a ``--save-feedback`` block can feed a later
+``--feedback-from`` block exactly as a reader would run them.
+
+Blocks that are deliberately not self-contained (illustrative
+fragments, the recursive full-test-suite command) opt out with an
+HTML comment immediately above the fence::
+
+    <!-- docs-smoke: skip (reason) -->
+
+``text``/``console``/``icsl`` and unlabelled fences are prose, not
+commands, and are ignored.  The CI ``docs-smoke`` job runs exactly
+this module.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+RUNNABLE = {"python", "py", "shell", "bash", "sh"}
+SKIP_MARKER = "docs-smoke: skip"
+FENCE = re.compile(r"^```(\w*)\s*$")
+
+DOC_FILES = ["README.md"] + sorted(
+    os.path.join("docs", name)
+    for name in os.listdir(os.path.join(REPO, "docs"))
+    if name.endswith(".md")
+)
+
+
+def extract_blocks(path):
+    """``(start_line, language, source)`` for every runnable block."""
+    blocks = []
+    language = None
+    body: list[str] = []
+    start = 0
+    skip_next = False
+    pending_skip = False
+    with open(path) as handle:
+        for number, line in enumerate(handle, 1):
+            match = FENCE.match(line.strip()) if language is None else None
+            if language is None:
+                if match:
+                    language = match.group(1).lower() or "text"
+                    body = []
+                    start = number
+                    pending_skip = skip_next
+                    skip_next = False
+                elif SKIP_MARKER in line:
+                    skip_next = True
+                elif line.strip():
+                    skip_next = False
+                continue
+            if line.strip() == "```":
+                if language in RUNNABLE and not pending_skip:
+                    blocks.append((start, language, "".join(body)))
+                language = None
+            else:
+                body.append(line)
+    return blocks
+
+
+def _env():
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + existing if existing else src
+    )
+    return env
+
+
+@pytest.fixture
+def sandbox(tmp_path):
+    """A scratch cwd where repo-relative doc paths resolve."""
+    for name in ("src", "examples", "docs"):
+        os.symlink(os.path.join(REPO, name), tmp_path / name)
+    return tmp_path
+
+
+@pytest.mark.parametrize("doc", DOC_FILES)
+def test_documented_blocks_run(doc, sandbox):
+    blocks = extract_blocks(os.path.join(REPO, doc))
+    assert blocks, f"{doc} documents no runnable python/shell blocks"
+    for start, language, source in blocks:
+        if language in ("python", "py"):
+            command = [sys.executable, "-c", source]
+        else:
+            command = ["/bin/sh", "-e", "-c", source]
+        result = subprocess.run(
+            command,
+            cwd=sandbox,
+            env=_env(),
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, (
+            f"{doc}:{start} ({language} block) exited "
+            f"{result.returncode}\n--- block ---\n{source}\n"
+            f"--- stdout ---\n{result.stdout}\n"
+            f"--- stderr ---\n{result.stderr}"
+        )
+
+
+def test_readme_links_resolve():
+    """Relative links in README.md and docs/*.md point at real files."""
+    link = re.compile(r"\[[^\]]+\]\(([^)#]+)\)")
+    for doc in DOC_FILES:
+        base = os.path.dirname(os.path.join(REPO, doc))
+        text = open(os.path.join(REPO, doc)).read()
+        for target in link.findall(text):
+            if target.startswith(("http://", "https://")):
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            assert os.path.exists(resolved), (
+                f"{doc} links to missing {target!r}"
+            )
