@@ -1,0 +1,249 @@
+"""Gateway benchmark: multi-client latency and admission control.
+
+Scenario, recorded in ``results/BENCH_gateway.json``: one gateway
+(two persistent workers, function granularity, a deliberately small
+admission budget) under a deterministic multi-client load —
+
+* a **saturating batch client** that keeps two corpus chunks in
+  flight at all times; every admission past its budget is answered
+  with a structured reject-plus-retry-after frame, which the client
+  honours as backoff (the backpressure loop the gateway exists for);
+* two **interactive clients** on their own connections (and so their
+  own admission budgets), each submitting single-program
+  ``interactive``-class requests back to back and measuring
+  submit-to-report latency.
+
+Acceptance bars:
+
+* every interactive report is digest-identical to the serial
+  ``detect_corpus(jobs=1)`` reference — the socket never perturbs a
+  result, under contention included;
+* admission control demonstrably fired: at least one rejection, every
+  rejection carrying ``retry_after > 0``;
+* the saturated batch client still made progress (completed chunks);
+* interactive p99 latency stays bounded while the batch client
+  saturates the pool — the stride scheduler's 4:1 interactive weight
+  seen from the wire.
+"""
+
+import json
+import threading
+import time
+
+from conftest import write_artifact
+from repro.evaluation.render import table
+from repro.pipeline import (
+    GatewayClient,
+    GatewayRejected,
+    GatewayServer,
+    PipelineOptions,
+    detect_corpus,
+)
+from repro.workloads import corpus_keys
+
+KEYS = corpus_keys()
+
+BATCH_CHUNK = 6       # programs per batch request
+BATCH_IN_FLIGHT = 2   # chunks the batch client tries to keep pending
+INTERACTIVE_CLIENTS = 2
+INTERACTIVE_REQUESTS = 8  # per client
+BUDGET = 48           # pending-unit budget: ~1.5 chunks at function
+                      # granularity, so the second in-flight chunk
+                      # rides the idle-admission rule and the *third*
+                      # submit is rejected — admission fires by design
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = max(0, min(len(ordered) - 1,
+                       round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _batch_worker(port, stop, record):
+    """Keep BATCH_IN_FLIGHT chunks pending; honour reject backoff."""
+    with GatewayClient(port=port, timeout=600.0) as client:
+        pending = []
+        chunk = 0
+        while not stop.is_set():
+            if len(pending) < BATCH_IN_FLIGHT:
+                base = (chunk * BATCH_CHUNK) % len(KEYS)
+                keys = [KEYS[(base + i) % len(KEYS)]
+                        for i in range(BATCH_CHUNK)]
+                try:
+                    started = time.perf_counter()
+                    pending.append(
+                        (client.submit(keys=keys), started)
+                    )
+                    chunk += 1
+                    continue
+                except GatewayRejected as exc:
+                    record["rejections"].append(exc.retry_after)
+                    time.sleep(min(exc.retry_after, 0.5))
+            if pending:
+                request, started = pending.pop(0)
+                report = client.result(request)
+                record["latencies"].append(
+                    time.perf_counter() - started
+                )
+                record["programs"] += len(report.programs)
+        for request, started in pending:
+            report = client.result(request)
+            record["latencies"].append(time.perf_counter() - started)
+            record["programs"] += len(report.programs)
+
+
+def _interactive_worker(port, offset, record, serial_by_key):
+    """Single-program interactive requests, submit-to-report timed."""
+    with GatewayClient(port=port, timeout=600.0) as client:
+        for i in range(INTERACTIVE_REQUESTS):
+            key = KEYS[(offset + i * 3) % len(KEYS)]
+            started = time.perf_counter()
+            request = client.submit(keys=[key], priority="interactive")
+            report = client.result(request)
+            record["latencies"].append(time.perf_counter() - started)
+            record["programs"] += len(report.programs)
+            if report.programs != (serial_by_key[key],):
+                record["mismatches"].append(key)
+
+
+def test_gateway_multi_client_latency_and_admission():
+    serial = detect_corpus(jobs=1)
+    serial_by_key = {p.key: p for p in serial.programs}
+
+    options = PipelineOptions(jobs=2, granularity="function")
+    batch_record = {"latencies": [], "rejections": [], "programs": 0}
+    interactive_records = [
+        {"latencies": [], "programs": 0, "mismatches": []}
+        for _ in range(INTERACTIVE_CLIENTS)
+    ]
+    with GatewayServer(options, port=0, budget=BUDGET) as server:
+        stop = threading.Event()
+        batch_thread = threading.Thread(
+            target=_batch_worker,
+            args=(server.port, stop, batch_record),
+            daemon=True,
+        )
+        started = time.perf_counter()
+        batch_thread.start()
+        interactive_threads = [
+            threading.Thread(
+                target=_interactive_worker,
+                args=(server.port, 7 + 11 * i, record, serial_by_key),
+                daemon=True,
+            )
+            for i, record in enumerate(interactive_records)
+        ]
+        for thread in interactive_threads:
+            thread.start()
+        for thread in interactive_threads:
+            thread.join(timeout=600)
+            assert not thread.is_alive(), "interactive client hung"
+        interactive_window = time.perf_counter() - started
+        stop.set()
+        batch_thread.join(timeout=600)
+        assert not batch_thread.is_alive(), "batch client hung"
+        elapsed = time.perf_counter() - started
+        assert server.queued_units() == 0
+        stats = server.stats
+
+    # Served results are byte-trustworthy under contention.
+    for record in interactive_records:
+        assert record["mismatches"] == []
+    # Admission control fired, and every reject carried a usable hint.
+    assert stats["rejections"] >= 1
+    assert batch_record["rejections"]
+    assert all(hint > 0 for hint in batch_record["rejections"])
+    # The saturated batch client still made progress.
+    assert batch_record["programs"] >= BATCH_CHUNK
+    # Interactive latency stayed bounded while batch saturated the
+    # pool (generous absolute bar: this is a correctness-of-shape
+    # bound for CI, the recorded numbers carry the real story).
+    interactive_latencies = [
+        latency
+        for record in interactive_records
+        for latency in record["latencies"]
+    ]
+    interactive_p99 = _percentile(interactive_latencies, 0.99)
+    assert interactive_p99 < 60.0
+
+    interactive_programs = sum(
+        record["programs"] for record in interactive_records
+    )
+    payload = {
+        "workers": options.jobs,
+        "granularity": options.granularity,
+        "budget_units": BUDGET,
+        "batch": {
+            "clients": 1,
+            "chunk_programs": BATCH_CHUNK,
+            "target_in_flight": BATCH_IN_FLIGHT,
+            "requests_completed": len(batch_record["latencies"]),
+            "programs": batch_record["programs"],
+            "p50_s": round(_percentile(batch_record["latencies"], 0.5), 4)
+            if batch_record["latencies"] else None,
+            "p99_s": round(_percentile(batch_record["latencies"], 0.99), 4)
+            if batch_record["latencies"] else None,
+            "throughput_programs_per_s": round(
+                batch_record["programs"] / elapsed, 3
+            ),
+        },
+        "interactive": {
+            "clients": INTERACTIVE_CLIENTS,
+            "requests_per_client": INTERACTIVE_REQUESTS,
+            "programs": interactive_programs,
+            "p50_s": round(
+                _percentile(interactive_latencies, 0.5), 4
+            ),
+            "p99_s": round(interactive_p99, 4),
+            "throughput_programs_per_s": round(
+                interactive_programs / interactive_window, 3
+            ),
+        },
+        "admission": {
+            "rejections": stats["rejections"],
+            "retry_after_min_s": round(
+                min(batch_record["rejections"]), 4
+            ),
+            "retry_after_max_s": round(
+                max(batch_record["rejections"]), 4
+            ),
+        },
+        "server_stats": stats,
+        "interactive_reports_identical_to_serial": True,
+        "elapsed_s": round(elapsed, 2),
+    }
+    write_artifact("BENCH_gateway.json", json.dumps(payload, indent=2))
+
+    rows = [
+        [
+            "interactive",
+            INTERACTIVE_CLIENTS,
+            len(interactive_latencies),
+            f"{payload['interactive']['p50_s']:.3f}",
+            f"{payload['interactive']['p99_s']:.3f}",
+            f"{payload['interactive']['throughput_programs_per_s']:.2f}",
+        ],
+        [
+            "batch",
+            1,
+            len(batch_record["latencies"]),
+            f"{payload['batch']['p50_s']:.3f}",
+            f"{payload['batch']['p99_s']:.3f}",
+            f"{payload['batch']['throughput_programs_per_s']:.2f}",
+        ],
+    ]
+    text = table(
+        ["class", "clients", "requests", "p50 s", "p99 s",
+         "programs/s"],
+        rows,
+        title=(
+            f"gateway under load: {stats['rejections']} admission "
+            f"rejection(s), retry-after "
+            f"{payload['admission']['retry_after_min_s']}–"
+            f"{payload['admission']['retry_after_max_s']}s, "
+            f"budget {BUDGET} units"
+        ),
+    )
+    print()
+    print(write_artifact("bench_gateway.txt", text))

@@ -52,6 +52,27 @@ Commands
     orders from served units at every submit, and ``--save-feedback``
     persists the session's merged store on exit; failed units exit 3
     unless ``--allow-failures``.
+
+``gateway``
+    Put the **socket gateway** in front of the serving engine: a
+    long-lived TCP server (length-prefixed JSON frames) that any
+    number of ``repro submit`` clients stream digests from
+    concurrently.  ``--port 0`` binds an ephemeral port;
+    ``--port-file FILE`` writes the bound port for clients to
+    discover; ``--unit-budget N`` sets the per-connection admission
+    budget (submits past it are rejected with a structured retry-after
+    frame); ``--serve-seconds N`` exits after N seconds (otherwise
+    serve until SIGINT/SIGTERM).
+
+``submit``
+    Submit programs to a running gateway and stream the results.
+    ``--port-file FILE`` polls the server's port file; ``--program
+    SUITE/NAME`` (repeatable) picks a corpus slice (default: the whole
+    corpus); ``--priority interactive|batch`` picks the scheduling
+    class; ``--cancel-after N`` cancels mid-stream after N digests;
+    ``--check`` verifies the served report is fingerprint-identical to
+    a local ``jobs=1`` batch run.  An admission rejection prints the
+    retry-after hint and exits 4.
 """
 
 from __future__ import annotations
@@ -446,6 +467,174 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_gateway(args) -> int:
+    import signal
+    import time
+
+    from .pipeline import GatewayServer, PipelineOptions
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.unit_budget is not None and args.unit_budget < 1:
+        print("error: --unit-budget must be >= 1", file=sys.stderr)
+        return 2
+    if args.serve_seconds is not None and args.serve_seconds <= 0:
+        print("error: --serve-seconds must be > 0", file=sys.stderr)
+        return 2
+    options = PipelineOptions(
+        jobs=args.jobs,
+        extended=args.extended,
+        baselines=args.baselines,
+        granularity=args.granularity,
+        module_cache_size=args.module_cache_size,
+        **({} if args.unit_budget is None
+           else {"gateway_unit_budget": args.unit_budget}),
+    )
+    # A plain `kill PID` should shut down exactly like Ctrl-C: reuse
+    # the KeyboardInterrupt path so workers and the port file are
+    # cleaned up either way.
+    signal.signal(signal.SIGTERM, signal.default_int_handler)
+    server = GatewayServer(options, host=args.host, port=args.port)
+    try:
+        server.start()
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"gateway listening on {args.host}:{server.port} "
+          f"({args.jobs} worker(s), budget {server.budget} unit(s))",
+          flush=True)
+    if args.port_file:
+        with open(args.port_file, "w") as handle:
+            handle.write(f"{server.port}\n")
+    started = time.monotonic()
+    try:
+        while (args.serve_seconds is None
+               or time.monotonic() - started < args.serve_seconds):
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        if args.port_file:
+            import os
+
+            try:
+                os.unlink(args.port_file)
+            except OSError:
+                pass
+    stats = server.stats
+    print(f"gateway stats: {stats['connections']} connection(s), "
+          f"{stats['submits']} submit(s), "
+          f"{stats['rejections']} rejection(s), "
+          f"{stats['completed']} completed, "
+          f"{stats['cancelled'] + stats['disconnect_cancelled']} "
+          f"cancelled, {stats['digests']} digest(s) streamed")
+    return 0
+
+
+def _resolve_gateway_port(args) -> int | None:
+    """The port to dial, from --port or by polling --port-file."""
+    import time
+
+    if not args.port_file:
+        return args.port if args.port else None
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(args.port_file) as handle:
+                text = handle.read().strip()
+            if text:
+                return int(text)
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.1)
+    return None
+
+
+def _cmd_submit(args) -> int:
+    from .pipeline import (
+        GatewayClient,
+        GatewayError,
+        GatewayRejected,
+        JobCancelled,
+    )
+
+    if args.cancel_after is not None and args.cancel_after < 1:
+        print("error: --cancel-after must be >= 1", file=sys.stderr)
+        return 2
+    port = _resolve_gateway_port(args)
+    if port is None:
+        print("error: no gateway port (pass --port or --port-file of a "
+              "running gateway)", file=sys.stderr)
+        return 2
+    keys = None
+    if args.program:
+        keys = []
+        for spec in args.program:
+            suite, _, name = spec.partition("/")
+            if not name:
+                print(f"error: --program wants SUITE/NAME, got {spec!r}",
+                      file=sys.stderr)
+                return 2
+            keys.append((name, suite))
+    if args.check and keys is not None:
+        print("error: --check needs a whole-corpus submit "
+              "(drop --program)", file=sys.stderr)
+        return 2
+    try:
+        with GatewayClient(
+            host=args.host, port=port, timeout=args.timeout,
+            connect_retries=args.connect_retries,
+        ) as client:
+            try:
+                request = client.submit(keys=keys, priority=args.priority)
+            except GatewayRejected as exc:
+                print(f"rejected: {exc.pending_units} pending + "
+                      f"{exc.requested_units} requested unit(s) exceed "
+                      f"the budget of {exc.budget}; retry after "
+                      f"{exc.retry_after}s", file=sys.stderr)
+                return 4
+            print(f"accepted: {request.units} unit(s) "
+                  f"[{args.priority}]")
+            streamed = 0
+            try:
+                for digest in client.stream(request):
+                    streamed += 1
+                    scalars, histograms = digest.counts()
+                    print(f"  {digest.suite}/{digest.name}: "
+                          f"{scalars} scalar, {histograms} histogram, "
+                          f"{digest.constraint_evals} evals")
+                    if (args.cancel_after is not None
+                            and streamed >= args.cancel_after):
+                        drained = client.cancel(request)
+                        print(f"cancelled after {streamed} digest(s), "
+                              f"{drained} queued unit(s) drained")
+                report = client.result(request)
+            except JobCancelled:
+                return 0
+    except GatewayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    code = _failure_exit(report.failures, args.allow_failures,
+                         describe=True)
+    if code:
+        return code
+    if args.check:
+        from .pipeline import detect_corpus
+
+        batch = detect_corpus(jobs=1, extended=args.extended,
+                              baselines=args.baselines)
+        if report.fingerprint() != batch.fingerprint():
+            print("ERROR: gateway report diverged from the batch "
+                  "engine", file=sys.stderr)
+            return 2
+        print("check: gateway fingerprint identical to jobs=1 batch run")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = argparse.ArgumentParser(
@@ -568,6 +757,80 @@ def main(argv: list[str] | None = None) -> int:
                            help="verify fingerprint identity with the "
                                 "jobs=1 batch engine")
     serve_cmd.set_defaults(fn=_cmd_serve)
+
+    gateway_cmd = commands.add_parser(
+        "gateway", help="socket gateway over the serving engine")
+    gateway_cmd.add_argument("--jobs", type=int, default=2,
+                             help="persistent worker processes")
+    gateway_cmd.add_argument("--host", default="127.0.0.1",
+                             help="bind address (default: loopback)")
+    gateway_cmd.add_argument("--port", type=int, default=0,
+                             help="TCP port (0 = ephemeral)")
+    gateway_cmd.add_argument("--port-file", metavar="FILE", default=None,
+                             help="write the bound port here for "
+                                  "clients to discover")
+    gateway_cmd.add_argument("--extended", action="store_true",
+                             help="also run the extension idioms")
+    gateway_cmd.add_argument("--baselines", action="store_true",
+                             help="also run the icc/Polly models")
+    gateway_cmd.add_argument("--granularity",
+                             choices=("program", "function"),
+                             default="function",
+                             help="work-unit granularity "
+                                  "(default: function)")
+    gateway_cmd.add_argument("--unit-budget", type=int, default=None,
+                             metavar="N",
+                             help="per-connection admission budget in "
+                                  "pending work units")
+    gateway_cmd.add_argument("--module-cache-size", type=int,
+                             default=None, metavar="N",
+                             help="bound each worker's compiled-module "
+                                  "cache to N entries (LRU)")
+    gateway_cmd.add_argument("--serve-seconds", type=float, default=None,
+                             metavar="N",
+                             help="exit after N seconds (default: "
+                                  "serve until SIGINT/SIGTERM)")
+    gateway_cmd.set_defaults(fn=_cmd_gateway)
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit programs to a running gateway")
+    submit_cmd.add_argument("--host", default="127.0.0.1",
+                            help="gateway address")
+    submit_cmd.add_argument("--port", type=int, default=0,
+                            help="gateway port")
+    submit_cmd.add_argument("--port-file", metavar="FILE", default=None,
+                            help="poll this file for the gateway port "
+                                 "(written by `gateway --port-file`)")
+    submit_cmd.add_argument("--program", action="append",
+                            metavar="SUITE/NAME",
+                            help="submit only these programs "
+                                 "(default: whole corpus)")
+    submit_cmd.add_argument("--priority",
+                            choices=("interactive", "batch"),
+                            default="batch",
+                            help="scheduling class for the request")
+    submit_cmd.add_argument("--cancel-after", type=int, default=None,
+                            metavar="N",
+                            help="cancel the request after N streamed "
+                                 "digests")
+    submit_cmd.add_argument("--timeout", type=float, default=120.0,
+                            help="socket/port-file timeout in seconds")
+    submit_cmd.add_argument("--connect-retries", type=int, default=20,
+                            help="connection attempts before giving up")
+    submit_cmd.add_argument("--extended", action="store_true",
+                            help="--check comparison flag: the gateway "
+                                 "runs the extension idioms")
+    submit_cmd.add_argument("--baselines", action="store_true",
+                            help="--check comparison flag: the gateway "
+                                 "runs the baseline models")
+    submit_cmd.add_argument("--allow-failures", action="store_true",
+                            help="exit 0 even when the report records "
+                                 "failed units (default: exit 3)")
+    submit_cmd.add_argument("--check", action="store_true",
+                            help="verify fingerprint identity with a "
+                                 "local jobs=1 batch run "
+                                 "(whole-corpus submits only)")
+    submit_cmd.set_defaults(fn=_cmd_submit)
 
     args = parser.parse_args(argv)
     return args.fn(args)

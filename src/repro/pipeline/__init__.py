@@ -21,9 +21,14 @@ staged, batched detection engine that
   tolerance**: heartbeat liveness, worker recycling, and bounded
   resubmission of units lost to killed workers
   (:mod:`repro.pipeline.serving`), and
+* exposes the persistent engine over the network through a **socket
+  gateway** — length-prefixed JSON frames, streamed digests,
+  mid-flight cancellation and per-connection admission control with
+  structured retry-after backpressure (:mod:`repro.pipeline.gateway`),
+  and
 * reports everything as process-portable **digests** whose fingerprint
-  is byte-identical between ``jobs=1``, ``jobs=N``, function-sharded
-  and served runs (:mod:`repro.pipeline.digest`).
+  is byte-identical between ``jobs=1``, ``jobs=N``, function-sharded,
+  served and gateway-served runs (:mod:`repro.pipeline.digest`).
 
 Quickstart::
 
@@ -54,6 +59,8 @@ from .digest import (
     digest_function,
     digest_report,
     load_report,
+    program_from_json,
+    program_to_json,
     report_from_json,
     report_to_json,
     save_report,
@@ -72,6 +79,14 @@ from .feedback import (
     feedback_from_report,
     load_feedback,
     save_feedback,
+)
+from .gateway import (
+    GatewayClient,
+    GatewayError,
+    GatewayRejected,
+    GatewayRequest,
+    GatewayRequestFailed,
+    GatewayServer,
 )
 from .options import PipelineOptions
 from .serving import (
@@ -101,6 +116,12 @@ __all__ = [
     "JobCancelled",
     "PriorityScheduler",
     "serve_worker",
+    "GatewayServer",
+    "GatewayClient",
+    "GatewayRequest",
+    "GatewayError",
+    "GatewayRejected",
+    "GatewayRequestFailed",
     "detect_corpus",
     "merge_digests",
     "merge_unit_digests",
@@ -128,6 +149,8 @@ __all__ = [
     "digest_extensions",
     "report_to_json",
     "report_from_json",
+    "program_to_json",
+    "program_from_json",
     "load_report",
     "save_report",
     "FeedbackStore",

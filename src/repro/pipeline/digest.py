@@ -379,6 +379,55 @@ def digest_report(report: DetectionReport) -> tuple[FunctionDigest, ...]:
     return tuple(digest_function(fr) for fr in report.functions)
 
 
+def program_to_json(p: ProgramDigest) -> dict:
+    """One program digest as JSON-serializable plain data.
+
+    The per-program unit of :func:`report_to_json`, exposed on its own
+    because the socket gateway streams individual digests over the
+    wire as programs complete — the same encoding in a frame as in a
+    saved report, so a client can rebuild either.
+    """
+    return {
+        "name": p.name,
+        "suite": p.suite,
+        "functions": [
+            {
+                "function": f.function,
+                "scalars": [
+                    {"name": s.name, "op": s.op,
+                     "input_bases": list(s.input_bases)}
+                    for s in f.scalars
+                ],
+                "histograms": [
+                    {"name": h.name, "op": h.op,
+                     "idx_affine": h.idx_affine,
+                     "input_bases": list(h.input_bases),
+                     "runtime_checks": list(h.runtime_checks)}
+                    for h in f.histograms
+                ],
+                "constraint_evals": f.constraint_evals,
+            }
+            for f in p.functions
+        ],
+        "extended": [
+            {"idiom": e.idiom, "name": e.name, "detail": e.detail}
+            for e in p.extended
+        ],
+        "icc": p.icc,
+        "polly_scops": p.polly_scops,
+        "polly_reductions": p.polly_reductions,
+        "stage_seconds": dict(p.stage_seconds),
+        # Per-spec solver statistics ride along (like the
+        # timings, outside the fingerprint) so a saved report
+        # remains a valid feedback_from_report source after a
+        # load_report round trip.
+        "spec_stats": {
+            name: p.spec_stats[name].to_jsonable()
+            for name in sorted(p.spec_stats)
+        },
+    }
+
+
 def report_to_json(report: CorpusReport) -> dict:
     """The report as JSON-serializable plain data.
 
@@ -397,49 +446,53 @@ def report_to_json(report: CorpusReport) -> dict:
              "error": f.error, "attempts": f.attempts}
             for f in report.failures
         ],
-        "programs": [
-            {
-                "name": p.name,
-                "suite": p.suite,
-                "functions": [
-                    {
-                        "function": f.function,
-                        "scalars": [
-                            {"name": s.name, "op": s.op,
-                             "input_bases": list(s.input_bases)}
-                            for s in f.scalars
-                        ],
-                        "histograms": [
-                            {"name": h.name, "op": h.op,
-                             "idx_affine": h.idx_affine,
-                             "input_bases": list(h.input_bases),
-                             "runtime_checks": list(h.runtime_checks)}
-                            for h in f.histograms
-                        ],
-                        "constraint_evals": f.constraint_evals,
-                    }
-                    for f in p.functions
-                ],
-                "extended": [
-                    {"idiom": e.idiom, "name": e.name, "detail": e.detail}
-                    for e in p.extended
-                ],
-                "icc": p.icc,
-                "polly_scops": p.polly_scops,
-                "polly_reductions": p.polly_reductions,
-                "stage_seconds": dict(p.stage_seconds),
-                # Per-spec solver statistics ride along (like the
-                # timings, outside the fingerprint) so a saved report
-                # remains a valid feedback_from_report source after a
-                # load_report round trip.
-                "spec_stats": {
-                    name: p.spec_stats[name].to_jsonable()
-                    for name in sorted(p.spec_stats)
-                },
-            }
-            for p in report.programs
-        ],
+        "programs": [program_to_json(p) for p in report.programs],
     }
+
+
+def program_from_json(p: dict) -> ProgramDigest:
+    """Rebuild one :class:`ProgramDigest` from :func:`program_to_json`
+    data (a saved report entry, or a gateway digest frame)."""
+    return ProgramDigest(
+        name=p["name"],
+        suite=p["suite"],
+        functions=tuple(
+            FunctionDigest(
+                function=f["function"],
+                scalars=tuple(
+                    ScalarDigest(
+                        name=s["name"], op=s["op"],
+                        input_bases=tuple(s["input_bases"]),
+                    )
+                    for s in f["scalars"]
+                ),
+                histograms=tuple(
+                    HistogramDigest(
+                        name=h["name"], op=h["op"],
+                        idx_affine=h["idx_affine"],
+                        input_bases=tuple(h["input_bases"]),
+                        runtime_checks=tuple(h["runtime_checks"]),
+                    )
+                    for h in f["histograms"]
+                ),
+                constraint_evals=f["constraint_evals"],
+            )
+            for f in p["functions"]
+        ),
+        extended=tuple(
+            ExtensionDigest(idiom=e["idiom"], name=e["name"],
+                            detail=e.get("detail", ""))
+            for e in p["extended"]
+        ),
+        icc=p["icc"],
+        polly_scops=p["polly_scops"],
+        polly_reductions=p["polly_reductions"],
+        stage_seconds=dict(p.get("stage_seconds", {})),
+        spec_stats={
+            name: SolverStats.from_jsonable(stats)
+            for name, stats in p.get("spec_stats", {}).items()
+        },
+    )
 
 
 def report_from_json(data: dict) -> CorpusReport:
@@ -449,49 +502,7 @@ def report_from_json(data: dict) -> CorpusReport:
     rebuilt report — a corrupted or hand-edited costs file fails loudly
     instead of silently mis-weighting shards.
     """
-    programs = tuple(
-        ProgramDigest(
-            name=p["name"],
-            suite=p["suite"],
-            functions=tuple(
-                FunctionDigest(
-                    function=f["function"],
-                    scalars=tuple(
-                        ScalarDigest(
-                            name=s["name"], op=s["op"],
-                            input_bases=tuple(s["input_bases"]),
-                        )
-                        for s in f["scalars"]
-                    ),
-                    histograms=tuple(
-                        HistogramDigest(
-                            name=h["name"], op=h["op"],
-                            idx_affine=h["idx_affine"],
-                            input_bases=tuple(h["input_bases"]),
-                            runtime_checks=tuple(h["runtime_checks"]),
-                        )
-                        for h in f["histograms"]
-                    ),
-                    constraint_evals=f["constraint_evals"],
-                )
-                for f in p["functions"]
-            ),
-            extended=tuple(
-                ExtensionDigest(idiom=e["idiom"], name=e["name"],
-                                detail=e.get("detail", ""))
-                for e in p["extended"]
-            ),
-            icc=p["icc"],
-            polly_scops=p["polly_scops"],
-            polly_reductions=p["polly_reductions"],
-            stage_seconds=dict(p.get("stage_seconds", {})),
-            spec_stats={
-                name: SolverStats.from_jsonable(stats)
-                for name, stats in p.get("spec_stats", {}).items()
-            },
-        )
-        for p in data["programs"]
-    )
+    programs = tuple(program_from_json(p) for p in data["programs"])
     report = CorpusReport(
         programs=programs,
         jobs=data.get("jobs", 1),

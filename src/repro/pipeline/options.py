@@ -76,6 +76,19 @@ class PipelineOptions:
     #: worker is resubmitted before the job records a structured
     #: :class:`~repro.pipeline.digest.UnitFailure` for its program.
     max_unit_retries: int = 2
+    #: Per-worker compiled-module cache bound: a worker keeps at most
+    #: this many compiled programs, evicting least-recently-used
+    #: (None = unbounded, compatible with the historical behaviour).
+    #: Long-lived gateway/serving workers should set this so memory is
+    #: a working set, not a leak; eviction is recompute cost only and
+    #: can never change a digest.
+    module_cache_size: int | None = None
+    #: Gateway only: the per-connection admission budget, in pending
+    #: work units.  A submit that would push one connection's
+    #: in-flight units past this is rejected with a structured
+    #: retry-after frame instead of being queued — a greedy batch
+    #: client saturates its own budget, not the scheduler.
+    gateway_unit_budget: int = 256
     #: Serving engine only: seconds between worker heartbeat messages.
     heartbeat_interval: float = 1.0
     #: Serving engine only: a worker whose process is alive but whose
@@ -104,6 +117,17 @@ class PipelineOptions:
             )
         if self.heartbeat_interval <= 0 or self.heartbeat_timeout <= 0:
             raise ValueError("heartbeat interval/timeout must be > 0")
+        if (self.module_cache_size is not None
+                and self.module_cache_size < 1):
+            raise ValueError(
+                f"module_cache_size must be >= 1 or None, "
+                f"got {self.module_cache_size}"
+            )
+        if self.gateway_unit_budget < 1:
+            raise ValueError(
+                f"gateway_unit_budget must be >= 1, "
+                f"got {self.gateway_unit_budget}"
+            )
         # Normalize list arguments so options compare/pickle cleanly.
         object.__setattr__(self, "spec_files", tuple(self.spec_files))
         if self.suites is not None:

@@ -234,7 +234,7 @@ def serve_worker(worker_id: int, task_queue, result_conn,
     ).start()
     try:
         registries: dict = {None: _build_registry(options)}
-        modules = ModuleCache()
+        modules = ModuleCache(options.module_cache_size)
         while True:
             task = task_queue.get()
             if task is None or (stop is not None and stop.is_set()):
@@ -321,6 +321,15 @@ class ServingJob:
         return self._pending_units == 0
 
     @property
+    def pending_units(self) -> int:
+        """Units not yet accounted (completed, failed or abandoned).
+
+        The admission-control currency: the gateway bounds the sum of
+        this over a connection's in-flight jobs.
+        """
+        return self._pending_units
+
+    @property
     def cancelled(self) -> bool:
         return self._cancelled
 
@@ -388,6 +397,37 @@ class ServingJob:
                 f"serving job {self.job_id} was cancelled"
             )
 
+    def _raise_pending_errors(self) -> None:
+        if not self._errors:
+            return
+        # Unregister: the consumer is done with this job, so its
+        # queued units are drained and late results for it are
+        # dropped by the router instead of accumulating in a job
+        # nobody will drain.
+        self._engine._abandon(self)
+        raise RuntimeError(
+            f"serving job {self.job_id} failed: "
+            + "; ".join(self._errors)
+        )
+
+    def take_completed(self) -> list[ProgramDigest]:
+        """Program digests completed since the last take, no blocking.
+
+        The non-blocking sibling of :meth:`stream` for external
+        drivers (the socket gateway) that pump the engine themselves:
+        returns whatever completed since the previous call — possibly
+        nothing — instead of waiting.  Raises exactly like
+        :meth:`stream`: :class:`JobCancelled` once cancelled,
+        ``RuntimeError`` on a failed unit or an engine shutdown.
+        Shares the stream cursor, so mixing the two never yields a
+        program twice.
+        """
+        self._raise_if_cancelled()
+        self._raise_pending_errors()
+        fresh = self._completed[self._streamed:]
+        self._streamed = len(self._completed)
+        return list(fresh)
+
     def stream(self) -> Iterator[ProgramDigest]:
         """Yield program digests as programs complete.
 
@@ -401,16 +441,7 @@ class ServingJob:
         """
         while True:
             self._raise_if_cancelled()
-            if self._errors:
-                # Unregister: the consumer is done with this job, so
-                # its queued units are drained and late results for it
-                # are dropped by the router instead of accumulating in
-                # a job nobody will drain.
-                self._engine._abandon(self)
-                raise RuntimeError(
-                    f"serving job {self.job_id} failed: "
-                    + "; ".join(self._errors)
-                )
+            self._raise_pending_errors()
             while self._streamed < len(self._completed):
                 # Re-checked per yield: cancelling from inside the
                 # consumer loop must stop the stream at the very next
@@ -421,6 +452,11 @@ class ServingJob:
                 self._streamed += 1
                 yield digest
             if self.done:
+                # Shutdown marks a pending job done *and* failed (the
+                # wakeup path for consumers blocked here in another
+                # thread) — that wakeup must raise, not end the
+                # stream as if the job had completed.
+                self._raise_pending_errors()
                 return
             self._engine._pump()
 
@@ -478,6 +514,12 @@ class ServingEngine:
         self._workers: dict[int, _WorkerHandle] = {}
         self._retired: list = []
         self._stop = None
+        #: True while :meth:`shutdown` tears the pool down.  Consumer
+        #: threads blocked in ``stream()`` keep pumping during the
+        #: teardown; the flag makes their pumps no-ops so they cannot
+        #: misread an exiting worker's closed pipe as a death and
+        #: respawn workers into a pool being dismantled.
+        self._draining = False
         self._scheduler = PriorityScheduler()
         self._jobs: dict[int, ServingJob] = {}
         self._job_ids = itertools.count()
@@ -597,10 +639,24 @@ class ServingEngine:
         and any job still pending is marked failed — a later
         ``stream()``/``result()`` on it raises instead of waiting on
         queues that no longer exist.
+
+        Pending jobs are failed (and the drain flag raised) *before*
+        the worker joins below: a consumer blocked in
+        ``stream()``/``result()`` on another thread wakes and raises
+        within one poll timeout, instead of waiting out the joins —
+        or worse, condemning the deliberately-exiting workers as dead
+        and respawning them mid-teardown.
         """
         if not self.running:
             return
+        self._draining = True
         self._stop.set()
+        for job in list(self._jobs.values()):
+            if not job.done and not job.cancelled:
+                job._errors.append("engine shut down with the job pending")
+                job._pending_units = 0
+        self._jobs.clear()
+        self._scheduler = PriorityScheduler()
         for handle in self._workers.values():
             handle.queue.put(None)
         for handle in self._workers.values():
@@ -617,15 +673,10 @@ class ServingEngine:
             if process.is_alive():  # pragma: no cover - defensive
                 process.terminate()
                 process.join()
-        for job in self._jobs.values():
-            if not job.done and not job.cancelled:
-                job._errors.append("engine shut down with the job pending")
-                job._pending_units = 0
-        self._jobs.clear()
         self._workers = {}
         self._retired = []
-        self._scheduler = PriorityScheduler()
         self._stop = self._context = None
+        self._draining = False
 
     def __enter__(self) -> "ServingEngine":
         return self.start()
@@ -802,7 +853,20 @@ class ServingEngine:
     def _poll_timeout(self) -> float:
         return max(0.05, min(1.0, self.options.heartbeat_timeout / 4.0))
 
-    def _pump(self) -> None:
+    def pump(self, timeout: float | None = None) -> None:
+        """One public supervision step, for external drivers.
+
+        The socket gateway (and any other driver that multiplexes many
+        consumers over one engine) calls this in its own service loop
+        and collects completions via :meth:`ServingJob.take_completed`
+        instead of blocking in ``stream()``.  ``timeout`` bounds the
+        blocking wait on the worker result pipes (None = the engine's
+        heartbeat-derived default); drivers that must stay responsive
+        to other traffic pass something small.
+        """
+        self._pump(timeout)
+
+    def _pump(self, timeout: float | None = None) -> None:
         """One supervision step: reap results, check liveness, dispatch.
 
         Already-delivered messages are drained first — a worker that
@@ -815,14 +879,16 @@ class ServingEngine:
         wait over every worker's result pipe so the consumer's
         ``stream()`` loop makes progress without spinning.
         """
-        if not self.running:
+        if not self.running or self._draining:
             return
         processed = self._poll_channels(0.0)
         self._check_liveness()
         self._dispatch()
         if processed:
             return
-        self._poll_channels(self._poll_timeout())
+        self._poll_channels(
+            self._poll_timeout() if timeout is None else timeout
+        )
         self._dispatch()
 
     def _poll_channels(self, timeout: float) -> int:
@@ -944,6 +1010,12 @@ class ServingEngine:
         its class while retries remain; past the budget its job
         records a :class:`UnitFailure` and completes without it.
         """
+        if self._draining:
+            # A consumer thread that entered its pump just before
+            # shutdown raised the drain flag may see the exiting
+            # workers' closed pipes here — they are not deaths, and
+            # respawning into a pool being dismantled would leak.
+            return
         if self._workers.pop(handle.worker_id, None) is None:
             return
         if handle.process.is_alive():

@@ -194,9 +194,15 @@ def measured_weights(
     proxy_baseline: dict[str, float | None] = {}
 
     def _proxy_of(unit: WorkUnit) -> float | None:
+        # KeyError is the expected resolution failure — a program not
+        # in the current corpus, or a function the program no longer
+        # defines (both lookups raise it).  Anything else (a compile
+        # crash, a corrupted module) is a genuine bug and must
+        # propagate instead of silently degrading to the measured
+        # mean.
         try:
             return unit_weight(unit)
-        except Exception:
+        except KeyError:
             return None
 
     def _baseline(kind: str) -> float | None:

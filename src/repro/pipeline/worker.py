@@ -133,16 +133,40 @@ class Heartbeat:
 
 
 class ModuleCache:
-    """Per-worker compiled-IR cache.
+    """Per-worker compiled-IR cache, optionally LRU-bounded.
 
     Function units of one program share the worker-local module (and
     its compile cost); the first use pays, later units of the same
     program are free.  Each worker compiles independently — modules
     hold live IR objects that cannot cross process boundaries.
+
+    ``max_entries`` caps the cache at that many modules, evicting the
+    least recently used (None = unbounded, the historical behaviour).
+    Long-lived serving/gateway workers see unbounded distinct programs
+    over their lifetime; the cap turns the cache from a leak into a
+    working set.  Eviction is a pure recompute cost — an evicted
+    module is rebuilt from source on the next touch, so digests (and
+    fingerprints) never depend on the cap.
     """
 
-    def __init__(self) -> None:
-        self._modules: dict[tuple[str, str], object] = {}
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1 or None, got {max_entries}"
+            )
+        from collections import OrderedDict
+
+        self._max = max_entries
+        self._modules: "OrderedDict[tuple[str, str], object]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def keys(self) -> list[tuple[str, str]]:
+        """Cached program keys, least recently used first."""
+        return list(self._modules)
 
     def module(self, key: tuple[str, str]) -> tuple[object, float]:
         """(compiled module, seconds this call spent compiling it).
@@ -154,11 +178,15 @@ class ModuleCache:
 
         cached = self._modules.get(key)
         if cached is not None:
+            self._modules.move_to_end(key)
             return cached, 0.0
         started = time.perf_counter()
         compiled = program(key[0], key[1]).fresh_module()
         seconds = time.perf_counter() - started
         self._modules[key] = compiled
+        if self._max is not None:
+            while len(self._modules) > self._max:
+                self._modules.popitem(last=False)
         return compiled, seconds
 
 
@@ -276,7 +304,7 @@ def run_unit_shard(
     """Process one shard of work units; registry and compiled modules
     are built once per shard."""
     registry = _build_registry(options)
-    modules = ModuleCache()
+    modules = ModuleCache(options.module_cache_size)
     return [
         detect_unit(unit, options, registry, modules) for unit in shard
     ]

@@ -125,6 +125,69 @@ def test_unit_weight_static_proxies():
         assert all(unit_weight(u) > 0 for u in units)
 
 
+# -- per-worker module cache --------------------------------------------------
+
+
+def test_module_cache_evicts_least_recently_used():
+    from repro.pipeline.worker import ModuleCache
+
+    cache = ModuleCache(max_entries=2)
+    key_a, key_b, key_c = KEYS[:3]
+    module_a, seconds_a = cache.module(key_a)
+    assert seconds_a > 0  # the miss is charged to this call
+    cache.module(key_b)
+    assert cache.keys() == [key_a, key_b]
+    # A hit returns the same object for free and refreshes recency.
+    hit, seconds_hit = cache.module(key_a)
+    assert hit is module_a
+    assert seconds_hit == 0.0
+    assert cache.keys() == [key_b, key_a]
+    # The third module evicts the now-least-recently-used key_b.
+    cache.module(key_c)
+    assert cache.keys() == [key_a, key_c]
+    assert len(cache) == 2
+    # The evicted module is recompiled on the next touch.
+    _, seconds_again = cache.module(key_b)
+    assert seconds_again > 0
+
+
+def test_module_cache_unbounded_by_default():
+    from repro.pipeline.worker import ModuleCache
+
+    cache = ModuleCache()
+    for key in KEYS[:5]:
+        cache.module(key)
+    assert len(cache) == 5
+
+
+def test_module_cache_rejects_bad_bound():
+    from repro.pipeline.worker import ModuleCache
+
+    with pytest.raises(ValueError, match="max_entries"):
+        ModuleCache(max_entries=0)
+
+
+def test_options_validate_cache_and_budget_bounds():
+    with pytest.raises(ValueError, match="module_cache_size"):
+        PipelineOptions(module_cache_size=0)
+    with pytest.raises(ValueError, match="gateway_unit_budget"):
+        PipelineOptions(gateway_unit_budget=0)
+
+
+def test_bounded_module_cache_never_changes_digests():
+    """Eviction is recompute cost only: the tightest possible cache
+    (one module per worker) produces byte-identical digests."""
+    from repro.pipeline import DetectionPipeline
+
+    serial = detect_corpus(jobs=1, keys=KEYS[:4])
+    bounded = DetectionPipeline(
+        PipelineOptions(jobs=2, granularity="function",
+                        module_cache_size=1)
+    ).run(keys=KEYS[:4])
+    assert bounded.programs == serial.programs
+    assert bounded.fingerprint() == serial.fingerprint()
+
+
 def test_measured_weights_prefer_recorded_costs():
     report = detect_corpus(jobs=1, keys=KEYS[:3])
     weight = measured_weights(report)

@@ -492,6 +492,44 @@ def test_unseen_weights_scale_with_the_static_proxy():
     assert ratios[0] == pytest.approx(expected)
 
 
+def test_poisoned_proxy_propagates_instead_of_silently_degrading(
+        monkeypatch):
+    """Bugfix regression: the measured-weights blend used to swallow
+    *every* exception from the static proxy, so a genuine bug (a
+    compile crash, a corrupted module) silently degraded to the
+    measured mean and unbalanced schedules with no trace.  Only the
+    expected resolution failure (``KeyError``: unknown program or
+    function) may fall back."""
+    import repro.pipeline.shard as shard_module
+
+    report = detect_corpus(jobs=1, keys=KEYS[:3])
+    weight = measured_weights(report)
+
+    def poisoned(unit):
+        raise RuntimeError("compiler exploded")
+
+    monkeypatch.setattr(shard_module, "unit_weight", poisoned)
+    with pytest.raises(RuntimeError, match="compiler exploded"):
+        weight(KEYS[5])  # unseen: the blend must consult the proxy
+
+
+def test_expected_resolution_failure_still_falls_back(monkeypatch):
+    """The flip side of the narrowing: a proxy that raises KeyError —
+    the documented unknown-program/function failure — degrades to the
+    measured mean exactly as before."""
+    import repro.pipeline.shard as shard_module
+
+    report = detect_corpus(jobs=1, keys=KEYS[:3])
+    weight = measured_weights(report)
+
+    def unresolvable(unit):
+        raise KeyError("no such program")
+
+    monkeypatch.setattr(shard_module, "unit_weight", unresolvable)
+    costs = [sum(p.stage_seconds.values()) for p in report.programs]
+    assert weight(KEYS[5]) == pytest.approx(sum(costs) / len(costs))
+
+
 def test_unresolvable_unseen_work_falls_back_to_the_measured_mean():
     report = detect_corpus(jobs=1, keys=KEYS[:3])
     weight = measured_weights(report)

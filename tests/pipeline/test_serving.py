@@ -170,6 +170,49 @@ def test_shutdown_fails_pending_jobs_instead_of_hanging():
     assert len(report.programs) == 2
 
 
+def test_shutdown_wakes_a_consumer_blocked_in_result():
+    """Bugfix regression: ``shutdown()`` used to fail only jobs nobody
+    was waiting on — a consumer thread already *blocked* inside
+    ``stream()``/``result()`` kept pumping forever (worse: it could
+    misread the deliberately-exiting workers' closed pipes as deaths
+    and respawn workers into the pool being dismantled).  Shutdown
+    must raise promptly in the blocked consumer, with zero recorded
+    worker deaths."""
+    import threading
+    import time
+
+    options = PipelineOptions(jobs=2, granularity="function")
+    engine = ServingEngine(options).start()
+    job = engine.submit()  # the whole corpus: nowhere near done
+    outcome = []
+
+    def consume():
+        try:
+            job.result()
+            outcome.append("completed")
+        except RuntimeError as exc:
+            outcome.append(exc)
+
+    consumer = threading.Thread(target=consume, daemon=True)
+    consumer.start()
+    time.sleep(0.5)  # let the consumer block in the pump loop
+    started = time.monotonic()
+    engine.shutdown()
+    consumer.join(timeout=15)
+    woken_after = time.monotonic() - started
+    assert not consumer.is_alive(), "consumer never woke from shutdown"
+    assert woken_after < 15
+    assert outcome and isinstance(outcome[0], RuntimeError)
+    assert "shut down" in str(outcome[0])
+    # The exiting workers' EOFs were not misread as deaths.
+    assert engine.worker_deaths == 0
+    assert not engine.running
+    # And the engine restarts cleanly after the concurrent teardown.
+    with engine:
+        report = engine.serve(KEYS[:2])
+    assert len(report.programs) == 2
+
+
 def test_engine_restarts_after_shutdown():
     options = PipelineOptions(jobs=2)
     engine = ServingEngine(options)
