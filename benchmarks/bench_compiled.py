@@ -1,0 +1,181 @@
+"""Compiled-engine micro-benchmark: flat plans vs the interpreter.
+
+The PR-7 acceptance measurement, recorded under ``compiled_engine`` in
+``results/BENCH_pipeline.json``:
+
+* **differential**: on every function of the 40-program corpus, every
+  shipped spec's compiled detection equals the interpreted oracle's —
+  the identical solution list — and the eval accounting reconciles
+  (``interpreted.constraint_evals == compiled.constraint_evals +
+  compiled.evals_pruned``);
+* **fingerprints**: a compiled-engine corpus report is
+  detection-fingerprint-identical to the naive reference
+  ``detect_corpus(jobs=1, shared_cache=False, engine="interpreted")``;
+* **speedup**: corpus-wide detection wall-clock, compiled/shared vs
+  interpreted/per-call (the PR-1 baseline).  Legs are interleaved
+  round by round and the per-round ratio's **median** is reported —
+  legs inside one round share machine conditions, so the ratio is
+  robust to load swings that wreck absolute best-of-N timings.  The
+  acceptance bar is ≥ 5x (``REPRO_MIN_SOLVER_SPEEDUP`` overrides for
+  noisy CI runners; the recorded number carries the real story), and
+  the compiled engine must never be slower in any single round.
+"""
+
+import json
+import os
+import statistics
+import time
+
+from conftest import RESULTS_DIR, write_artifact
+from repro.constraints import (
+    SharedSolverCache,
+    SolverContext,
+    SolverStats,
+    detect,
+)
+from repro.constraints.plan import compile_plan
+from repro.evaluation.render import table
+from repro.idioms import IdiomRegistry
+from repro.pipeline import detect_corpus
+from repro.workloads import corpus
+
+#: Interleaved measurement rounds (median-of-rounds reported).
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "5"))
+
+#: The asserted speedup floor, compiled/shared vs interpreted/per-call.
+MIN_SPEEDUP = float(os.environ.get("REPRO_MIN_SOLVER_SPEEDUP", "5.0"))
+
+LEGS = (
+    ("interpreted/per-call", "interpreted", False),
+    ("interpreted/shared", "interpreted", True),
+    ("compiled/shared", "compiled", True),
+    ("compiled/per-call", "compiled", False),
+)
+
+
+def _corpus_contexts():
+    """One solver context per defined function of the whole corpus."""
+    contexts = []
+    for program in corpus.all_programs():
+        module = program.compile()
+        for function in module.defined_functions():
+            contexts.append(SolverContext(function, module))
+    return contexts
+
+
+def _run_leg(contexts, specs, engine, shared):
+    """One corpus-wide detection pass; returns (wall, stats)."""
+    stats = SolverStats()
+    started = time.perf_counter()
+    for ctx in contexts:
+        cache = SharedSolverCache()
+        for spec in specs:
+            detect(ctx, spec, stats=stats,
+                   cache=cache if shared else SharedSolverCache(),
+                   engine=engine)
+    return time.perf_counter() - started, stats
+
+
+def test_compiled_engine_differential_and_speedup():
+    registry = IdiomRegistry()
+    specs = [registry.spec(name) for name in registry.names()]
+    contexts = _corpus_contexts()
+    for spec in specs:  # plan compilation is one-time, off the clock
+        compile_plan(spec)
+
+    # -- differential: every function, every spec, both engines ------
+    mismatches = 0
+    for ctx in contexts:
+        for spec in specs:
+            interpreted = detect(ctx, spec, cache=SharedSolverCache(),
+                                 engine="interpreted")
+            compiled = detect(ctx, spec, cache=SharedSolverCache(),
+                              engine="compiled")
+            if compiled != interpreted:
+                mismatches += 1
+    assert mismatches == 0
+
+    # -- fingerprints: compiled report ≡ the naive reference ----------
+    reference = detect_corpus(jobs=1, shared_cache=False,
+                              engine="interpreted")
+    report = detect_corpus(jobs=1, engine="compiled")
+    assert report.fingerprint(effort=False) == reference.fingerprint(
+        effort=False
+    )
+
+    # -- interleaved wall-clock measurement ---------------------------
+    _run_leg(contexts, specs, "compiled", True)  # warm the caches/JIT
+    best: dict = {}
+    stats_of: dict = {}
+    ratios = []
+    for _ in range(ROUNDS):
+        walls = {}
+        for label, engine, shared in LEGS:
+            wall, stats = _run_leg(contexts, specs, engine, shared)
+            walls[label] = wall
+            stats_of[label] = stats
+            if label not in best or wall < best[label]:
+                best[label] = wall
+        # The compiled path is never slower, in any single round.
+        assert walls["compiled/shared"] <= walls["interpreted/per-call"]
+        assert walls["compiled/shared"] <= walls["interpreted/shared"]
+        ratios.append(
+            walls["interpreted/per-call"] / walls["compiled/shared"]
+        )
+    speedup = statistics.median(ratios)
+    assert speedup >= MIN_SPEEDUP, (
+        f"compiled engine {speedup:.2f}x < {MIN_SPEEDUP}x floor "
+        f"(round ratios: {[round(r, 2) for r in ratios]})"
+    )
+
+    # -- eval accounting reconciles across engines --------------------
+    interp = stats_of["interpreted/per-call"]
+    comp = stats_of["compiled/per-call"]
+    assert (comp.constraint_evals + comp.evals_pruned
+            == interp.constraint_evals)
+    assert comp.conjuncts_pruned > 0
+
+    # -- record into BENCH_pipeline.json ------------------------------
+    path = os.path.join(RESULTS_DIR, "BENCH_pipeline.json")
+    payload = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload["compiled_engine"] = {
+        "rounds": ROUNDS,
+        "contexts": len(contexts),
+        "specs": len(specs),
+        "legs": {
+            label: {
+                "wall_seconds": round(best[label], 4),
+                "constraint_evals": stats_of[label].constraint_evals,
+                "evals_pruned": stats_of[label].evals_pruned,
+            }
+            for label, _, _ in LEGS
+        },
+        "round_ratios": [round(r, 3) for r in ratios],
+        "speedup_median": round(speedup, 3),
+        "speedup_best_of_best": round(
+            best["interpreted/per-call"] / best["compiled/shared"], 3
+        ),
+        "asserted_floor": MIN_SPEEDUP,
+        "detection_fingerprint_identical_to_naive": True,
+    }
+    write_artifact("BENCH_pipeline.json", json.dumps(payload, indent=2))
+
+    rows = [
+        [label, f"{best[label] * 1000:.0f} ms",
+         stats_of[label].constraint_evals,
+         stats_of[label].evals_pruned]
+        for label, _, _ in LEGS
+    ]
+    text = table(
+        ["engine/cache", "wall (best)", "constraint evals", "evals pruned"],
+        rows,
+        title=(
+            f"corpus detection: compiled {speedup:.2f}x vs interpreted "
+            f"(median of {ROUNDS} interleaved rounds)"
+        ),
+    )
+    print()
+    print(write_artifact("bench_compiled.txt", text))

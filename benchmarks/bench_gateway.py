@@ -146,6 +146,8 @@ def test_gateway_multi_client_latency_and_admission():
         elapsed = time.perf_counter() - started
         assert server.queued_units() == 0
         stats = server.stats
+        gateway_gap = server.engine.mean_dispatch_gap()
+        gateway_gap_samples = server.engine.idle_samples
 
     # Served results are byte-trustworthy under contention.
     for record in interactive_records:
@@ -169,6 +171,39 @@ def test_gateway_multi_client_latency_and_admission():
 
     interactive_programs = sum(
         record["programs"] for record in interactive_records
+    )
+
+    # Worker dispatch gap A/B: the same load shape served with strict
+    # depth-one dispatch versus the default one-unit prefetch window.
+    # The gap is worker-side idle between consecutive units — the
+    # supervisor round-trip prefetching exists to hide; reports must
+    # be fingerprint-identical either way.
+    ab = {}
+    ab_fingerprints = set()
+    from repro.pipeline import ServingEngine
+
+    for label, prefetch in (("depth_one", 0), ("prefetch", 1)):
+        ab_options = PipelineOptions(
+            jobs=2, granularity="function", prefetch_units=prefetch
+        )
+        with ServingEngine(ab_options) as engine:
+            ab_started = time.perf_counter()
+            report = engine.serve(KEYS[:12])
+            ab[label] = {
+                "prefetch_units": prefetch,
+                "mean_gap_s": round(engine.mean_dispatch_gap(), 6),
+                "gap_samples": engine.idle_samples,
+                "wall_s": round(time.perf_counter() - ab_started, 3),
+            }
+            ab_fingerprints.add(report.fingerprint())
+    assert len(ab_fingerprints) == 1, (
+        "prefetch changed a report fingerprint"
+    )
+    # Correctness-of-shape bound for CI (0.5 ms noise allowance); the
+    # recorded numbers carry the real comparison.
+    assert (ab["prefetch"]["mean_gap_s"]
+            <= ab["depth_one"]["mean_gap_s"] + 0.0005), (
+        "prefetch did not shrink the dispatch gap"
     )
     payload = {
         "workers": options.jobs,
@@ -208,6 +243,13 @@ def test_gateway_multi_client_latency_and_admission():
             "retry_after_max_s": round(
                 max(batch_record["rejections"]), 4
             ),
+        },
+        "dispatch": {
+            "prefetch_units": options.prefetch_units,
+            "mean_gap_s": round(gateway_gap, 6),
+            "gap_samples": gateway_gap_samples,
+            "ab": ab,
+            "ab_reports_fingerprint_identical": True,
         },
         "server_stats": stats,
         "interactive_reports_identical_to_serial": True,

@@ -36,9 +36,10 @@ recorded in ``results/BENCH_serving.json``:
 
 import json
 import multiprocessing
+import os
 import time
 
-from conftest import write_artifact
+from conftest import RESULTS_DIR, write_artifact
 from repro.evaluation.render import table
 from repro.pipeline import (
     CorpusReport,
@@ -78,6 +79,11 @@ def test_pipeline_vs_serial_pr1_engine(benchmark):
     benchmark.pedantic(run_sharded, rounds=1, iterations=1)
 
     configurations = {
+        "interpreted-per-call": dict(jobs=1, extended=True, baselines=True,
+                                     shared_cache=False,
+                                     engine="interpreted"),
+        "interpreted-shared": dict(jobs=1, extended=True, baselines=True,
+                                   engine="interpreted"),
         "serial-per-call": dict(jobs=1, extended=True, baselines=True,
                                 shared_cache=False),
         "serial-shared": dict(jobs=1, extended=True, baselines=True),
@@ -87,9 +93,27 @@ def test_pipeline_vs_serial_pr1_engine(benchmark):
         name: _measure(**kwargs) for name, kwargs in configurations.items()
     }
 
+    interpreted, interpreted_wall = runs["interpreted-per-call"]
+    interp_shared, interp_shared_wall = runs["interpreted-shared"]
     per_call, per_call_wall = runs["serial-per-call"]
     shared, shared_wall = runs["serial-shared"]
     sharded, sharded_wall = runs["sharded-shared"]
+
+    # The compiled engine (the default) detects exactly what the
+    # interpreted oracle detects, at lower end-to-end wall-clock, and
+    # its eval counters reconcile through the recorded pruning.  The
+    # solver-layer speedup (≥5x acceptance bar) is measured and
+    # asserted by bench_compiled.py, which interleaves its legs; these
+    # are the end-to-end pipeline numbers.
+    assert shared.fingerprint(effort=False) == interp_shared.fingerprint(
+        effort=False
+    )
+    assert per_call.fingerprint(effort=False) == interpreted.fingerprint(
+        effort=False
+    )
+    assert shared_wall < interp_shared_wall
+    assert per_call_wall < interpreted_wall
+    assert shared.total_constraint_evals < interp_shared.total_constraint_evals
 
     # Identical reports: sharded ≡ serial byte-for-byte, and both
     # engines agree on every detection (effort differs by design).
@@ -126,7 +150,22 @@ def test_pipeline_vs_serial_pr1_engine(benchmark):
             / per_call.total_constraint_evals,
             3,
         ),
+        # End-to-end engine comparison (per-stage overheads included;
+        # the solver-layer ratio is bench_compiled.py's compiled_engine
+        # section).
+        "engine_speedup_end_to_end": {
+            "per_call": round(interpreted_wall / per_call_wall, 3),
+            "shared": round(interp_shared_wall / shared_wall, 3),
+        },
     }
+    existing = {}
+    existing_path = os.path.join(RESULTS_DIR, "BENCH_pipeline.json")
+    if os.path.exists(existing_path):
+        with open(existing_path) as handle:
+            existing = json.load(handle)
+    # Preserve bench_compiled.py's solver-layer section when present.
+    if "compiled_engine" in existing:
+        payload["compiled_engine"] = existing["compiled_engine"]
     write_artifact("BENCH_pipeline.json", json.dumps(payload, indent=2))
 
     rows = [

@@ -311,7 +311,8 @@ def _cmd_corpus(args) -> int:
                            extended=args.extended,
                            granularity=args.granularity,
                            weights_from=args.weights_from,
-                           spec_orders=feedback_orders)
+                           spec_orders=feedback_orders,
+                           engine=args.engine)
     results = {
         name: run_discovery(name, report=report)
         for name in ("NAS", "Parboil", "Rodinia")
@@ -684,6 +685,11 @@ def main(argv: list[str] | None = None) -> int:
                             choices=("program", "function"),
                             default="program",
                             help="work-unit granularity for sharding")
+    corpus_cmd.add_argument("--engine",
+                            choices=("compiled", "interpreted"),
+                            default=None,
+                            help="solver execution engine (default: "
+                                 "compiled flat-plan engine)")
     corpus_cmd.add_argument("--weights-from", metavar="REPORT.json",
                             default=None,
                             help="balance shards by a previous run's "

@@ -24,9 +24,16 @@ class CFG:
         for block in function.blocks:
             for successor in self.successors[block]:
                 self.predecessors.setdefault(successor, []).append(block)
+        self._rpo: list[BasicBlock] | None = None
 
     def reverse_post_order(self) -> list[BasicBlock]:
-        """Blocks in reverse post-order from the entry."""
+        """Blocks in reverse post-order from the entry.
+
+        The traversal is computed once and cached (the graph is
+        immutable after construction); callers get a fresh copy.
+        """
+        if self._rpo is not None:
+            return list(self._rpo)
         visited: set[BasicBlock] = set()
         order: list[BasicBlock] = []
 
@@ -51,7 +58,8 @@ class CFG:
         if self.function.blocks:
             visit(self.function.entry)
         order.reverse()
-        return order
+        self._rpo = order
+        return list(order)
 
     def reachable(self) -> set[BasicBlock]:
         """Blocks reachable from the entry."""

@@ -17,7 +17,8 @@ from .dominators import DominatorTree
 
 
 def control_dependences(
-    function: Function, post_tree: DominatorTree | None = None
+    function: Function, post_tree: DominatorTree | None = None,
+    cfg: CFG | None = None,
 ) -> dict[BasicBlock, set[BasicBlock]]:
     """Map each block to the set of blocks it is control dependent on.
 
@@ -27,7 +28,7 @@ def control_dependences(
     dependent on ``C``.
     """
     post_tree = post_tree or DominatorTree.compute_post(function)
-    cfg = CFG(function)
+    cfg = cfg if cfg is not None else CFG(function)
     reachable = cfg.reachable()
     result: dict[BasicBlock, set[BasicBlock]] = {b: set() for b in reachable}
     for block in reachable:

@@ -106,9 +106,14 @@ class DominatorTree:
             self._depth[block] = 0 if parent is None else self._depth[parent] + 1
 
     @classmethod
-    def compute(cls, function: Function) -> "DominatorTree":
-        """Dominator tree of the forward CFG rooted at the entry block."""
-        cfg = CFG(function)
+    def compute(cls, function: Function,
+                cfg: CFG | None = None) -> "DominatorTree":
+        """Dominator tree of the forward CFG rooted at the entry block.
+
+        ``cfg`` reuses an already-built graph (the successor/
+        predecessor maps are pure function state, so sharing is safe).
+        """
+        cfg = cfg if cfg is not None else CFG(function)
         order = cfg.reverse_post_order()
         reachable = set(order)
         preds = {
@@ -119,9 +124,10 @@ class DominatorTree:
         return cls(function.entry, idom, order)
 
     @classmethod
-    def compute_post(cls, function: Function) -> "DominatorTree":
+    def compute_post(cls, function: Function,
+                     cfg: CFG | None = None) -> "DominatorTree":
         """Post-dominator tree (dominators of the reversed CFG)."""
-        cfg = CFG(function)
+        cfg = cfg if cfg is not None else CFG(function)
         reachable = cfg.reachable()
         exits = [b for b in cfg.exit_blocks() if b in reachable]
         if not exits:

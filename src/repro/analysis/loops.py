@@ -72,10 +72,13 @@ class Loop:
 class LoopInfo:
     """All natural loops of a function, with nesting resolved."""
 
-    def __init__(self, function: Function):
+    def __init__(self, function: Function, cfg: CFG | None = None,
+                 tree: DominatorTree | None = None):
         self.function = function
-        cfg = CFG(function)
-        tree = DominatorTree.compute(function)
+        cfg = cfg if cfg is not None else CFG(function)
+        tree = tree if tree is not None else DominatorTree.compute(
+            function, cfg
+        )
         reachable = cfg.reachable()
 
         loops_by_header: dict[BasicBlock, Loop] = {}

@@ -37,6 +37,7 @@ from .flow import (
     stored_bases,
 )
 from .logical import ConstraintAnd, ConstraintOr
+from .plan import FlatPlan, compile_plan, detect_plan
 from .predicates import PREDICATE_ATOMS, register_predicate_atom
 from .solver import (
     CompiledSpec,
@@ -94,6 +95,9 @@ __all__ = [
     "SolverStats",
     "SharedSolverCache",
     "CompiledSpec",
+    "FlatPlan",
+    "compile_plan",
+    "detect_plan",
     "compile_spec",
     "suggest_order",
     "PREDICATE_ATOMS",

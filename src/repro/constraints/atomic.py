@@ -12,7 +12,43 @@ from __future__ import annotations
 from ..ir.block import BasicBlock
 from ..ir.instructions import BranchInst, Instruction, PhiInst
 from ..ir.values import Argument, Constant, GlobalVariable, Value
-from .core import Assignment, Constraint, SolverContext
+from .core import PARTIAL_VACUOUS, Assignment, Constraint, SolverContext
+
+
+def _universe_opcode_codes(ctx, np):
+    """Per-context opcode code table over ``ctx.universe`` for numpy
+    batch filtering: an int32 array (one entry per universe value, -1
+    for non-instructions) plus the opcode → code index.  Built once per
+    context on first use and cached on it."""
+    cached = getattr(ctx, "_plan_opcode_codes", None)
+    if cached is None:
+        index: dict[str, int] = {}
+        rows = []
+        for value in ctx.universe:
+            if isinstance(value, Instruction):
+                code = index.setdefault(value.opcode, len(index))
+            else:
+                code = -1
+            rows.append(code)
+        cached = (np.asarray(rows, dtype=np.int32), index)
+        ctx._plan_opcode_codes = cached
+    return cached
+
+
+def _universe_constlike_mask(ctx, np):
+    """Per-context boolean mask of constant-like universe values."""
+    cached = getattr(ctx, "_plan_constlike_mask", None)
+    if cached is None:
+        cached = np.fromiter(
+            (
+                isinstance(v, (Constant, Argument, GlobalVariable))
+                for v in ctx.universe
+            ),
+            dtype=bool,
+            count=len(ctx.universe),
+        )
+        ctx._plan_constlike_mask = cached
+    return cached
 
 
 class CFGEdge(Constraint):
@@ -27,6 +63,21 @@ class CFGEdge(Constraint):
         if not isinstance(a, BasicBlock) or not isinstance(b, BasicBlock):
             return False
         return ctx.cfg.has_edge(a, b)
+
+    def compile_check(self, slot_of):
+        sa, sb = slot_of[self.labels[0]], slot_of[self.labels[1]]
+
+        def run(ctx, slots, view):
+            a = slots[sa]
+            b = slots[sb]
+            if not isinstance(a, BasicBlock) or not isinstance(b, BasicBlock):
+                return False
+            return ctx.cfg.has_edge(a, b)
+
+        return run
+
+    def structural_key(self):
+        return ("cfg_edge", self.labels)
 
     def propose(self, ctx, assignment, label):
         a_label, b_label = self.labels
@@ -43,6 +94,12 @@ class CFGEdge(Constraint):
         if label in self.labels:
             return ctx.blocks()
         return None
+
+    def propose_implies_partial(self, bound, label):
+        # With the other endpoint bound the proposals are exactly the
+        # successors/predecessors — every candidate closes the edge.
+        a, b = self.labels
+        return (label == b and a in bound) or (label == a and b in bound)
 
 
 class EndsInUncondBranch(Constraint):
@@ -65,6 +122,19 @@ class EndsInUncondBranch(Constraint):
         target = self._target_of(assignment[self.labels[0]])
         return target is not None and target is assignment[self.labels[1]]
 
+    def compile_check(self, slot_of):
+        sb, st = slot_of[self.labels[0]], slot_of[self.labels[1]]
+        target_of = self._target_of
+
+        def run(ctx, slots, view):
+            target = target_of(slots[sb])
+            return target is not None and target is slots[st]
+
+        return run
+
+    def structural_key(self):
+        return ("uncond_branch", self.labels)
+
     def propose(self, ctx, assignment, label):
         block_label, target_label = self.labels
         if label == target_label and block_label in assignment:
@@ -78,6 +148,14 @@ class EndsInUncondBranch(Constraint):
                 ]
             return [b for b in ctx.blocks() if self._target_of(b) is not None]
         return None
+
+    def propose_implies_partial(self, bound, label):
+        # Either direction proposes only values satisfying the check
+        # once the other label is bound (the branch target is unique).
+        block, target = self.labels
+        return (label == target and block in bound) or (
+            label == block and target in bound
+        )
 
 
 class EndsInCondBranch(Constraint):
@@ -105,6 +183,26 @@ class EndsInCondBranch(Constraint):
             parts[i] is assignment[self.labels[i + 1]] for i in range(3)
         )
 
+    def compile_check(self, slot_of):
+        sb = slot_of[self.labels[0]]
+        s1, s2, s3 = (slot_of[self.labels[i]] for i in (1, 2, 3))
+        parts_of = self._parts
+
+        def run(ctx, slots, view):
+            parts = parts_of(slots[sb])
+            if parts is None:
+                return False
+            return (
+                parts[0] is slots[s1]
+                and parts[1] is slots[s2]
+                and parts[2] is slots[s3]
+            )
+
+        return run
+
+    def structural_key(self):
+        return ("cond_branch", self.labels)
+
     def propose(self, ctx, assignment, label):
         block_label = self.labels[0]
         if label == block_label:
@@ -122,6 +220,12 @@ class EndsInCondBranch(Constraint):
                 return []
             return [parts[self.labels.index(label) - 1]]
         return None
+
+    def propose_implies_partial(self, bound, label):
+        # Block proposals are filtered against every bound part; a
+        # proposed part (cond/then/else) is NOT filtered against the
+        # other bound parts, so only the block direction is implied.
+        return label == self.labels[0]
 
 
 class Dominates(Constraint):
@@ -145,6 +249,32 @@ class Dominates(Constraint):
         if self.strict:
             return tree.strictly_dominates(a, b)
         return tree.dominates(a, b)
+
+    def compile_check(self, slot_of):
+        sa, sb = slot_of[self.labels[0]], slot_of[self.labels[1]]
+        strict, post = self.strict, self.post
+
+        def run(ctx, slots, view):
+            a = slots[sa]
+            b = slots[sb]
+            if not isinstance(a, BasicBlock) or not isinstance(b, BasicBlock):
+                return False
+            tree = ctx.postdom if post else ctx.dom
+            if strict:
+                return tree.strictly_dominates(a, b)
+            return tree.dominates(a, b)
+
+        return run
+
+    def structural_key(self):
+        return ("dom", self.strict, self.post, self.labels)
+
+    def implied_structural_keys(self):
+        if self.strict:
+            # Strict (post-)dominance implies the non-strict relation
+            # on the same labels.
+            return (("dom", False, self.post, self.labels),)
+        return ()
 
     def propose(self, ctx, assignment, label):
         if label in self.labels:
@@ -186,6 +316,26 @@ class Blocked(Constraint):
             return False
         return not ctx.cfg.path_exists_avoiding(a, c, via)
 
+    def compile_check(self, slot_of):
+        sa = slot_of[self.labels[0]]
+        sv = slot_of[self.labels[1]]
+        sc = slot_of[self.labels[2]]
+
+        def run(ctx, slots, view):
+            a, via, c = slots[sa], slots[sv], slots[sc]
+            if (
+                not isinstance(a, BasicBlock)
+                or not isinstance(via, BasicBlock)
+                or not isinstance(c, BasicBlock)
+            ):
+                return False
+            return not ctx.cfg.path_exists_avoiding(a, c, via)
+
+        return run
+
+    def structural_key(self):
+        return ("blocked", self.labels)
+
 
 class SESERegion(Constraint):
     """``begin`` and ``end`` span a single-entry single-exit region —
@@ -201,6 +351,34 @@ class SESERegion(Constraint):
             return False
         return ctx.dom.dominates(begin, end) and ctx.postdom.dominates(
             end, begin
+        )
+
+    def compile_check(self, slot_of):
+        sb, se = slot_of[self.labels[0]], slot_of[self.labels[1]]
+
+        def run(ctx, slots, view):
+            begin = slots[sb]
+            end = slots[se]
+            if not isinstance(begin, BasicBlock) or not isinstance(
+                end, BasicBlock
+            ):
+                return False
+            return ctx.dom.dominates(begin, end) and ctx.postdom.dominates(
+                end, begin
+            )
+
+        return run
+
+    def structural_key(self):
+        return ("sese", self.labels)
+
+    def implied_structural_keys(self):
+        # sese(begin, end) ⇔ begin dominates end ∧ end post-dominates
+        # begin: both dominance conjuncts are redundant after it.
+        begin, end = self.labels
+        return (
+            ("dom", False, False, (begin, end)),
+            ("dom", False, True, (end, begin)),
         )
 
     def propose(self, ctx, assignment, label):
@@ -269,6 +447,82 @@ class Opcode(Constraint):
             return False
         return self._operand_match(instruction, assignment)
 
+    def compile_partial(self, bound, slot_of):
+        # Mirrors partial_check for the exact bound set: vacuous until
+        # x binds, then opcode membership plus the operand restriction
+        # over whichever operand labels are bound.
+        if self.x_label not in bound:
+            return PARTIAL_VACUOUS
+        x_slot = slot_of[self.x_label]
+        opcodes = self.opcodes
+        only = opcodes[0] if len(opcodes) == 1 else None
+        orders = [self.operand_labels]
+        if self.commutative:
+            orders.append(tuple(reversed(self.operand_labels)))
+        compiled_orders = tuple(
+            tuple(
+                (i, slot_of[l])
+                for i, l in enumerate(order)
+                if l is not None and l in bound
+            )
+            for order in orders
+        )
+        nops = len(self.operand_labels)
+
+        def run(ctx, slots, view):
+            x = slots[x_slot]
+            if not isinstance(x, Instruction):
+                return False
+            if only is not None:
+                if x.opcode != only:
+                    return False
+            elif x.opcode not in opcodes:
+                return False
+            # In-place operand list: the public .operands copies to a
+            # tuple on every access, too costly per candidate.
+            operands = x._operands
+            if nops and len(operands) < nops:
+                return False
+            for pairs in compiled_orders:
+                for i, slot in pairs:
+                    if operands[i] is not slots[slot]:
+                        break
+                else:
+                    return True
+            return False
+
+        return run
+
+    def structural_key(self):
+        return (
+            "opcode",
+            self.x_label,
+            self.opcodes,
+            self.operand_labels,
+            self.commutative,
+        )
+
+    def compile_batch_filter(self, new_label):
+        """A universe-wide opcode-membership mask when ``new_label`` is
+        the instruction label: a candidate outside the mask is certain
+        to fail this atom's check, so the plan engine may reject it in
+        bulk.  Conservative — survivors still run the full check."""
+        if new_label != self.x_label:
+            return None
+        opcodes = self.opcodes
+
+        def mask(ctx, np):
+            codes, index = _universe_opcode_codes(ctx, np)
+            wanted = [index[o] for o in opcodes if o in index]
+            if not wanted:
+                return np.zeros(len(codes), dtype=bool)
+            m = codes == wanted[0]
+            for code in wanted[1:]:
+                m |= codes == code
+            return m
+
+        return mask
+
     def propose(self, ctx, assignment, label):
         if label == self.x_label:
             candidates: list[Value] = []
@@ -291,6 +545,28 @@ class Opcode(Constraint):
             operands = instruction.operands
             return [operands[i] for i in positions if i < len(operands)]
         return None
+
+    def propose_implies_partial(self, bound, label):
+        if label == self.x_label:
+            # Instruction proposals replay the partial check verbatim
+            # (opcode membership + operand match over the same bound
+            # labels) — unless x itself names an operand slot, which
+            # only the check-time assignment constrains.
+            return self.x_label not in self.operand_labels
+        if self.x_label not in bound or label not in self.operand_labels:
+            return False
+        if self.operand_labels.count(label) != 1:
+            # A label at several positions must match all of them;
+            # propose offers each position's value independently.
+            return False
+        if self.commutative:
+            # With another operand already matched in one of the two
+            # orders, a proposed value can still clash in both.
+            return not any(
+                l is not None and l != label and l in bound
+                for l in self.operand_labels
+            )
+        return True
 
 
 class PhiOfTwo(Constraint):
@@ -329,6 +605,47 @@ class PhiOfTwo(Constraint):
                 return False
         return True
 
+    def compile_partial(self, bound, slot_of):
+        if self.labels[0] not in bound:
+            return PARTIAL_VACUOUS
+        x_slot = slot_of[self.labels[0]]
+        if all(label in bound for label in self.labels[1:]):
+            sa, sb = slot_of[self.labels[1]], slot_of[self.labels[2]]
+
+            def run_full(ctx, slots, view):
+                x = slots[x_slot]
+                # PHI operands interleave (value, block) pairs; four
+                # operands ⇔ two incoming edges, values at 0 and 2.
+                if not isinstance(x, PhiInst) or len(x._operands) != 4:
+                    return False
+                ops = x._operands
+                v0, v1 = ops[0], ops[2]
+                a = slots[sa]
+                b = slots[sb]
+                return (v0 is a and v1 is b) or (v0 is b and v1 is a)
+
+            return run_full
+        rest = tuple(
+            slot_of[label] for label in self.labels[1:] if label in bound
+        )
+
+        def run(ctx, slots, view):
+            x = slots[x_slot]
+            if not isinstance(x, PhiInst) or len(x._operands) != 4:
+                return False
+            ops = x._operands
+            v0, v1 = ops[0], ops[2]
+            for slot in rest:
+                value = slots[slot]
+                if value is not v0 and value is not v1:
+                    return False
+            return True
+
+        return run
+
+    def structural_key(self):
+        return ("phi_of_two", self.labels)
+
     def propose(self, ctx, assignment, label):
         x_label, a_label, b_label = self.labels
         if label == x_label:
@@ -343,6 +660,19 @@ class PhiOfTwo(Constraint):
                 return x.incoming_values()
             return []
         return None
+
+    def propose_implies_partial(self, bound, label):
+        x, a, b = self.labels
+        if label == x:
+            # Shape-only filtering: sound while neither incoming label
+            # is bound (membership is not checked at propose time).
+            return a not in bound and b not in bound
+        if x not in bound:
+            return False
+        # Proposing one incoming value guarantees membership, but not
+        # the exact pairing the full check demands once both are bound.
+        other = b if label == a else a if label == b else None
+        return other is not None and other not in bound
 
 
 class PhiIncomingFromBlock(Constraint):
@@ -361,13 +691,38 @@ class PhiIncomingFromBlock(Constraint):
             v is value and b is block for v, b in phi.incoming
         )
 
+    def compile_check(self, slot_of):
+        sp, sv, sb = (slot_of[label] for label in self.labels)
+
+        def run(ctx, slots, view):
+            phi = slots[sp]
+            if not isinstance(phi, PhiInst):
+                return False
+            value = slots[sv]
+            block = slots[sb]
+            # Interleaved (value, block) operand pairs, scanned in place.
+            ops = phi._operands
+            for i in range(0, len(ops), 2):
+                if ops[i] is value and ops[i + 1] is block:
+                    return True
+            return False
+
+        return run
+
+    def structural_key(self):
+        return ("phi_incoming", self.labels)
+
     def propose(self, ctx, assignment, label):
         phi_label, value_label, block_label = self.labels
         phi = assignment.get(phi_label)
         if label == phi_label:
             return ctx.instructions_with_opcode("phi")
-        if not isinstance(phi, PhiInst):
+        if phi is None:
             return None
+        if not isinstance(phi, PhiInst):
+            # Bound to a non-PHI: nothing can ever satisfy this atom,
+            # so propose the empty set rather than abstaining.
+            return []
         if label == value_label:
             block = assignment.get(block_label)
             if block is not None:
@@ -380,6 +735,18 @@ class PhiIncomingFromBlock(Constraint):
             return [b for _, b in phi.incoming]
         return None
 
+    def propose_implies_partial(self, bound, label):
+        # Value/block proposals filtered by the other bound component
+        # enumerate exactly the satisfying incoming entries.  The check
+        # only fires once all three labels are bound, so the remaining
+        # patterns stay vacuous anyway.
+        phi, value, block = self.labels
+        if label == value:
+            return phi in bound and block in bound
+        if label == block:
+            return phi in bound and value in bound
+        return False
+
 
 class InBlock(Constraint):
     """Instruction ``x`` lives in block ``block``."""
@@ -391,6 +758,18 @@ class InBlock(Constraint):
         x = assignment[self.labels[0]]
         block = assignment[self.labels[1]]
         return isinstance(x, Instruction) and x.parent is block
+
+    def compile_check(self, slot_of):
+        sx, sb = slot_of[self.labels[0]], slot_of[self.labels[1]]
+
+        def run(ctx, slots, view):
+            x = slots[sx]
+            return isinstance(x, Instruction) and x.parent is slots[sb]
+
+        return run
+
+    def structural_key(self):
+        return ("in_block", self.labels)
 
     def propose(self, ctx, assignment, label):
         x_label, block_label = self.labels
@@ -406,6 +785,13 @@ class InBlock(Constraint):
             return []
         return None
 
+    def propose_implies_partial(self, bound, label):
+        # Either direction proposes exactly the members/parent.
+        x, block = self.labels
+        return (label == block and x in bound) or (
+            label == x and block in bound
+        )
+
 
 class IsConstantLike(Constraint):
     """``x ∈ constant`` from Fig. 5: a compile-time constant, function
@@ -418,6 +804,28 @@ class IsConstantLike(Constraint):
         x = assignment[self.labels[0]]
         return isinstance(x, (Constant, Argument, GlobalVariable))
 
+    def compile_check(self, slot_of):
+        sx = slot_of[self.labels[0]]
+
+        def run(ctx, slots, view):
+            return isinstance(
+                slots[sx], (Constant, Argument, GlobalVariable)
+            )
+
+        return run
+
+    def structural_key(self):
+        return ("constlike", self.labels)
+
+    def compile_batch_filter(self, new_label):
+        if new_label != self.labels[0]:
+            return None
+
+        def mask(ctx, np):
+            return _universe_constlike_mask(ctx, np)
+
+        return mask
+
     def propose(self, ctx, assignment, label):
         if label == self.labels[0]:
             return [
@@ -426,6 +834,10 @@ class IsConstantLike(Constraint):
                 if isinstance(v, (Constant, Argument, GlobalVariable))
             ]
         return None
+
+    def propose_implies_partial(self, bound, label):
+        # Proposals are the universe filtered by the check itself.
+        return label == self.labels[0]
 
 
 class DefDominatesBlock(Constraint):
@@ -442,6 +854,25 @@ class DefDominatesBlock(Constraint):
             return False
         return x.parent is not None and ctx.dom.dominates(x.parent, block)
 
+    def compile_check(self, slot_of):
+        sx, sb = slot_of[self.labels[0]], slot_of[self.labels[1]]
+
+        def run(ctx, slots, view):
+            x = slots[sx]
+            block = slots[sb]
+            if not isinstance(x, Instruction) or not isinstance(
+                block, BasicBlock
+            ):
+                return False
+            return x.parent is not None and ctx.dom.dominates(
+                x.parent, block
+            )
+
+        return run
+
+    def structural_key(self):
+        return ("def_dominates_block", self.labels)
+
 
 class Distinct(Constraint):
     """All bound labels take pairwise distinct values."""
@@ -456,6 +887,34 @@ class Distinct(Constraint):
     def partial_check(self, ctx, assignment):
         values = [assignment[l] for l in self.labels if l in assignment]
         return len({id(v) for v in values}) == len(values)
+
+    def compile_partial(self, bound, slot_of):
+        slots_bound = tuple(
+            slot_of[l] for l in self.labels if l in bound
+        )
+        if len(slots_bound) < 2:
+            return PARTIAL_VACUOUS
+        if len(slots_bound) == 2:
+            s0, s1 = slots_bound
+
+            def run_pair(ctx, slots, view):
+                return slots[s0] is not slots[s1]
+
+            return run_pair
+
+        def run(ctx, slots, view):
+            seen = set()
+            for slot in slots_bound:
+                key = id(slots[slot])
+                if key in seen:
+                    return False
+                seen.add(key)
+            return True
+
+        return run
+
+    def structural_key(self):
+        return ("distinct", tuple(sorted(self.labels)))
 
 
 class Predicate(Constraint):

@@ -40,20 +40,30 @@ from ..ir.values import Value
 #: A (partial) assignment of labels to IR values.
 Assignment = Mapping[str, Value]
 
+#: Sentinel returned by :meth:`Constraint.compile_partial` when the
+#: partial verdict is constant-true for the given bound label set — the
+#: plan compiler drops the check from the schedule slice and accounts
+#: the skipped evaluation in :attr:`SolverStats.evals_pruned`.
+PARTIAL_VACUOUS = object()
+
 
 class SolverContext:
-    """A function plus cached analyses — the ``FunctionWrapper`` of Fig. 7."""
+    """A function plus cached analyses — the ``FunctionWrapper`` of Fig. 7.
+
+    The cheap, universally-consulted analyses (CFG, dominators, the
+    value universe and the opcode index) are built eagerly; the heavier
+    ones (post-dominators, loops, SCEV, control dependences, purity)
+    are computed on first access and cached.  Laziness only moves the
+    cost to the first constraint that consults the analysis — verdicts
+    are unchanged, and a spec set that never touches e.g. SCEV never
+    pays for it.
+    """
 
     def __init__(self, function: Function, module: Module | None = None):
         self.function = function
         self.module = module
         self.cfg = CFG(function)
-        self.dom = DominatorTree.compute(function)
-        self.postdom = DominatorTree.compute_post(function)
-        self.loop_info = LoopInfo(function)
-        self.scev = ScalarEvolution(function, self.loop_info)
-        self.control_deps = control_dependences(function, self.postdom)
-        self.purity = PurityAnalysis(module) if module is not None else None
+        self.dom = DominatorTree.compute(function, self.cfg)
         #: ``values(F)`` from §3.2 — the candidate universe.
         self.universe: list[Value] = function.value_universe()
         self._by_opcode: dict[str, list[Instruction]] = {}
@@ -62,6 +72,52 @@ class SolverContext:
                 instruction
             )
         self._solver_cache = None
+        #: Memoized flow-slice verdicts, keyed by the checking
+        #: constraint and the identities of its bound label values —
+        #: an analysis cache like the lazy properties below (the
+        #: verdict is a pure function of this context and those
+        #: bindings), consulted by
+        #: :class:`~repro.constraints.flow.ComputedOnlyFrom`.
+        self.flow_memo: dict[tuple, bool] = {}
+        self._postdom = None
+        self._loop_info = None
+        self._scev = None
+        self._control_deps = None
+        self._purity = None
+
+    @property
+    def postdom(self) -> DominatorTree:
+        if self._postdom is None:
+            self._postdom = DominatorTree.compute_post(
+                self.function, self.cfg
+            )
+        return self._postdom
+
+    @property
+    def loop_info(self) -> LoopInfo:
+        if self._loop_info is None:
+            self._loop_info = LoopInfo(self.function, self.cfg, self.dom)
+        return self._loop_info
+
+    @property
+    def scev(self) -> ScalarEvolution:
+        if self._scev is None:
+            self._scev = ScalarEvolution(self.function, self.loop_info)
+        return self._scev
+
+    @property
+    def control_deps(self):
+        if self._control_deps is None:
+            self._control_deps = control_dependences(
+                self.function, self.postdom, self.cfg
+            )
+        return self._control_deps
+
+    @property
+    def purity(self) -> PurityAnalysis | None:
+        if self.module is not None and self._purity is None:
+            self._purity = PurityAnalysis(self.module)
+        return self._purity
 
     @property
     def solver_cache(self):
@@ -133,6 +189,102 @@ class Constraint:
         """
         return None
 
+    def propose_implies_partial(self, bound: frozenset, label: str) -> bool:
+        """Whether this constraint's own proposals pre-satisfy its check.
+
+        True asserts: whenever exactly ``bound`` is bound and this
+        constraint's :meth:`partial_check` held on the path so far,
+        :meth:`propose` for ``label`` returns a list (never None) every
+        element of which satisfies :meth:`partial_check` at
+        ``bound | {label}``.  The solver draws candidates from the
+        intersection of all proposals — a subset of this constraint's
+        list — so its check at the depth binding ``label`` is implied
+        and the plan compiler drops it (counted in
+        ``SolverStats.evals_pruned``).  Only the ⊆ direction is
+        required; proposals narrower than the satisfying set are fine.
+
+        The default is conservative (False).  Overrides must hold for
+        *every* context and assignment matching ``bound`` — a
+        value-dependent ``propose`` that can return None must answer
+        False for that pattern.
+        """
+        return False
+
+    # -- plan compilation (the flat-evaluation-plan engine) -------------------
+
+    def compile_partial(self, bound: frozenset, slot_of: Mapping[str, int]):
+        """Lower this constraint's partial check for one exact bound set.
+
+        The plan compiler knows, for every depth of the enumeration
+        order, precisely which of this constraint's labels are bound
+        (``bound``).  The return value is one of
+
+        * :data:`PARTIAL_VACUOUS` — the verdict is constant-true for
+          this bound set, so the plan skips the check entirely (counted
+          in ``SolverStats.evals_pruned``);
+        * a callable ``fn(ctx, slots, view) -> bool`` — a specialized
+          evaluator reading values straight out of the solver's slot
+          list (``slots[slot_of[label]]``), agreeing with
+          :meth:`partial_check` on every assignment binding exactly
+          ``bound``;
+        * ``None`` — no specialization; the plan wraps
+          :meth:`partial_check` generically (never pruned).
+
+        The default lowers the paper's ``c_k`` construction: vacuous
+        until every label is bound, then :meth:`compile_check` (or a
+        generic :meth:`check` wrapper).  Subclasses that override
+        :meth:`partial_check` get ``None`` here unless they also
+        override this method — an unmirrored custom partial verdict is
+        never silently treated as vacuous.
+        """
+        if type(self).partial_check is not Constraint.partial_check:
+            return None
+        if not set(self.labels) <= bound:
+            return PARTIAL_VACUOUS
+        lowered = self.compile_check(slot_of)
+        if lowered is not None:
+            return lowered
+        # Fully bound with no specialization: wrap check() directly —
+        # the bound-set scan partial_check would repeat is already
+        # decided at compile time.
+        check = self.check
+
+        def run(ctx, slots, view):
+            return check(ctx, view)
+
+        return run
+
+    def compile_check(self, slot_of: Mapping[str, int]):
+        """A slot-indexed ``fn(ctx, slots, view) -> bool`` agreeing with
+        :meth:`check` on full assignments, or None for no
+        specialization."""
+        return None
+
+    def structural_key(self):
+        """A hashable identity for duplicate elimination, or None.
+
+        Two constraints in one spec with equal keys must be
+        semantically identical on full assignments of their labels —
+        the plan compiler then evaluates only the first.  The default
+        recognizes atoms stamped with a ``spec_atom`` tag (the ICSL
+        loader's named predicates and flow atoms).
+        """
+        atom = getattr(self, "spec_atom", None)
+        if atom is not None:
+            try:
+                hash(atom)
+            except TypeError:
+                return None  # e.g. flow atoms tag themselves with a dict
+            return ("named", atom)
+        return None
+
+    def implied_structural_keys(self) -> tuple:
+        """Keys of constraints this one logically implies when it holds
+        on a full assignment (e.g. strict dominance implies dominance).
+        A later conjunct whose key appears here is redundant once this
+        one passed."""
+        return ()
+
     # -- composition sugar ----------------------------------------------------
 
     def __and__(self, other: "Constraint") -> "Constraint":
@@ -165,6 +317,11 @@ class IdiomSpec:
             raise ValueError(
                 f"spec {name!r}: labels {sorted(missing)} missing from order"
             )
+        #: The spec named by ``extends`` in ICSL, regardless of whether
+        #: the current enumeration order still permits prefix replay.
+        #: The plan engine consults this for *partial*-prefix reuse
+        #: when a reorder broke the full-prefix property.
+        self.declared_base = base
         #: The spec this one extends (``extends`` in ICSL).  When the
         #: extension's label order starts with the base's and the base's
         #: conjunct objects are reused verbatim, the solver can replay
@@ -179,10 +336,32 @@ class IdiomSpec:
             len(self.label_order) > n and self.label_order[:n] == base.label_order
         )
 
+    def shared_prefix_len(self) -> int:
+        """Length of the label-order prefix shared with the declared
+        base — the depth at which the plan engine's partial-prefix trie
+        can splice in the base's solved frontier.  Zero when there is
+        no declared base or the orders diverge immediately; equals the
+        base's full order length exactly when :attr:`base` is set."""
+        base = self.declared_base
+        if base is None:
+            return 0
+        n = 0
+        for mine, theirs in zip(self.label_order, base.label_order):
+            if mine != theirs:
+                break
+            n += 1
+        return n
+
     def reordered(self, label_order: tuple[str, ...]) -> "IdiomSpec":
-        """The same spec with a different enumeration order (ablation)."""
+        """The same spec with a different enumeration order (ablation).
+
+        The declared base travels along: an order that restores (or
+        keeps) the base's prefix re-enables full replay, one that
+        merely shares a shorter prefix leaves the plan engine its
+        partial-prefix trie.
+        """
         return IdiomSpec(self.name, label_order, self.constraint,
-                         base=self.base)
+                         base=self.declared_base)
 
 
 def constraint_labels(constraint: Constraint) -> set[str]:

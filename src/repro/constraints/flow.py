@@ -306,6 +306,26 @@ class ComputedOnlyFrom(Constraint):
         self.policy_factory = policy_factory
 
     def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
+        # The verdict is a pure function of the context's (immutable)
+        # analyses and this constraint's bound label values, and the
+        # same slice is re-checked across specs sharing conjuncts and
+        # across prefix replays — memoized per context like the other
+        # analysis caches.
+        # The constraint object itself is part of the key — identity
+        # addressing that also pins it alive in the memo, exactly like
+        # the shared proposal cache (value ids are stable: the context
+        # keeps the function's values alive).
+        key = (self,) + tuple(
+            id(assignment[label]) for label in self.labels
+        )
+        memo = ctx.flow_memo
+        verdict = memo.get(key)
+        if verdict is None:
+            verdict = self._check(ctx, assignment)
+            memo[key] = verdict
+        return verdict
+
+    def _check(self, ctx: SolverContext, assignment: Assignment) -> bool:
         header = assignment[self.header_label]
         if not isinstance(header, BasicBlock):
             return False

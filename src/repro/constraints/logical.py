@@ -20,6 +20,8 @@ def intersect_proposals(proposals: list[list[Value]]) -> list[Value]:
     proposal path so the two can never diverge in ordering or dedup
     semantics (the solver guarantees identical enumeration).
     """
+    if len(proposals) == 1:
+        return proposals[0]
     proposals.sort(key=len)
     result = proposals[0]
     for other in proposals[1:]:
@@ -36,6 +38,38 @@ def _flatten(kind, constraints):
         else:
             flat.append(constraint)
     return flat
+
+
+#: Marker for a child whose partial verdict is constant-true at the
+#: bound set being compiled (see :func:`_compile_children`).
+_CHILD_VACUOUS = object()
+
+
+def _generic_child(child: Constraint):
+    partial = child.partial_check
+
+    def run(ctx, slots, view):
+        return partial(ctx, view)
+
+    return run
+
+
+def _compile_children(children, bound, slot_of):
+    """Lower each child for one bound set; vacuous children become
+    :data:`_CHILD_VACUOUS`, unlowerable ones a ``partial_check``
+    wrapper."""
+    from .core import PARTIAL_VACUOUS
+
+    subs = []
+    for child in children:
+        lowered = child.compile_partial(bound, slot_of)
+        if lowered is PARTIAL_VACUOUS:
+            subs.append(_CHILD_VACUOUS)
+        elif lowered is None:
+            subs.append(_generic_child(child))
+        else:
+            subs.append(lowered)
+    return subs
 
 
 class ConstraintAnd(Constraint):
@@ -57,6 +91,31 @@ class ConstraintAnd(Constraint):
 
     def partial_check(self, ctx: SolverContext, assignment: Assignment) -> bool:
         return all(c.partial_check(ctx, assignment) for c in self.children)
+
+    def compile_partial(self, bound, slot_of):
+        """Compose the children's lowered partial checks (``all`` of
+        them).  A vacuous child contributes constant-true and drops out
+        of the conjunction; if every child drops out the whole node is
+        vacuous."""
+        subs = [
+            fn
+            for fn in _compile_children(self.children, bound, slot_of)
+            if fn is not _CHILD_VACUOUS
+        ]
+        if not subs:
+            from .core import PARTIAL_VACUOUS
+
+            return PARTIAL_VACUOUS
+        if len(subs) == 1:
+            return subs[0]
+
+        def run(ctx, slots, view):
+            for fn in subs:
+                if not fn(ctx, slots, view):
+                    return False
+            return True
+
+        return run
 
     def propose(
         self, ctx: SolverContext, assignment: Assignment, label: str
@@ -101,6 +160,26 @@ class ConstraintOr(Constraint):
 
     def partial_check(self, ctx: SolverContext, assignment: Assignment) -> bool:
         return any(c.partial_check(ctx, assignment) for c in self.children)
+
+    def compile_partial(self, bound, slot_of):
+        """Compose the children's lowered partial checks (``any`` of
+        them).  One vacuous child makes the disjunction constant-true,
+        hence the whole node vacuous."""
+        subs = _compile_children(self.children, bound, slot_of)
+        if any(fn is _CHILD_VACUOUS for fn in subs):
+            from .core import PARTIAL_VACUOUS
+
+            return PARTIAL_VACUOUS
+        if len(subs) == 1:
+            return subs[0]
+
+        def run(ctx, slots, view):
+            for fn in subs:
+                if fn(ctx, slots, view):
+                    return True
+            return False
+
+        return run
 
     def propose(
         self, ctx: SolverContext, assignment: Assignment, label: str

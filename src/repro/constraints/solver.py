@@ -83,6 +83,18 @@ class SolverStats:
     #: Searches that replayed a base spec's solved prefix instead of
     #: re-enumerating it.
     prefix_reuses: int = 0
+    #: Schedule slots the plan compiler's redundancy pass removed
+    #: (vacuous, duplicate or implied conjunct checks), counted once
+    #: per search that ran under the pruned plan.
+    conjuncts_pruned: int = 0
+    #: Constraint evaluations the interpreted engine would have
+    #: performed that the compiled plan skipped — position-exact, so
+    #: ``interpreted.constraint_evals == plan.constraint_evals +
+    #: plan.evals_pruned`` for the same search.
+    evals_pruned: int = 0
+    #: Searches that replayed a partial (mid-order) base frontier from
+    #: the shared prefix trie instead of re-enumerating it.
+    trie_reuses: int = 0
 
     def record_candidates(self, label: str, bound: frozenset[str],
                           count: int) -> None:
@@ -115,6 +127,9 @@ class SolverStats:
         self.constraint_evals += other.constraint_evals
         self.proposal_cache_hits += other.proposal_cache_hits
         self.prefix_reuses += other.prefix_reuses
+        self.conjuncts_pruned += other.conjuncts_pruned
+        self.evals_pruned += other.evals_pruned
+        self.trie_reuses += other.trie_reuses
         for label, count in other.candidates_per_label.items():
             self.candidates_per_label[label] = (
                 self.candidates_per_label.get(label, 0) + count
@@ -145,6 +160,9 @@ class SolverStats:
             self.constraint_evals,
             self.proposal_cache_hits,
             self.prefix_reuses,
+            self.conjuncts_pruned,
+            self.evals_pruned,
+            self.trie_reuses,
             tuple(sorted(self.candidates_per_label.items())),
             tuple(sorted(
                 (label, tuple(sorted(bound)), visits, total)
@@ -170,6 +188,9 @@ class SolverStats:
             "constraint_evals": self.constraint_evals,
             "proposal_cache_hits": self.proposal_cache_hits,
             "prefix_reuses": self.prefix_reuses,
+            "conjuncts_pruned": self.conjuncts_pruned,
+            "evals_pruned": self.evals_pruned,
+            "trie_reuses": self.trie_reuses,
             "candidates_per_label": dict(
                 sorted(self.candidates_per_label.items())
             ),
@@ -193,6 +214,9 @@ class SolverStats:
             constraint_evals=data.get("constraint_evals", 0),
             proposal_cache_hits=data.get("proposal_cache_hits", 0),
             prefix_reuses=data.get("prefix_reuses", 0),
+            conjuncts_pruned=data.get("conjuncts_pruned", 0),
+            evals_pruned=data.get("evals_pruned", 0),
+            trie_reuses=data.get("trie_reuses", 0),
             candidates_per_label=dict(data.get("candidates_per_label", {})),
             candidates_per_prefix={
                 (label, frozenset(bound)): (visits, total)
@@ -221,7 +245,26 @@ class SharedSolverCache:
       by spec identity.  An extending spec replays these as its solved
       prefix (see :meth:`CompiledSpec.prefix_plan`); the scalar and
       histogram idioms both extend ``for-loop``, so its search runs
-      once per context instead of once per spec.
+      once per context instead of once per spec;
+    * ``prefix_trie`` — *partial* search states for the plan engine:
+      the depth-``d`` frontier of a base spec's search, keyed
+      ``(base spec, d)``.  An ``extends`` spec whose enumeration order
+      diverges from the base mid-way (so full-prefix replay is
+      unavailable) replays the shared frontier at the divergence depth
+      (see :mod:`~repro.constraints.plan`);
+    * ``intersection_memo`` — plan-engine memo of
+      :func:`~repro.constraints.logical.intersect_proposals` results,
+      keyed by the identities of the memoized proposal lists being
+      intersected (pure function of lists that live in
+      ``proposal_memo``, so entries stay valid for the cache's
+      lifetime);
+    * ``depth_memo`` — plan-engine memo of a whole depth's final
+      candidate list, keyed ``(plan step, bound-dependency value ids)``.
+      A hit replaces the per-row proposal lookups and the intersection
+      with one dict probe; since every row's memo entry necessarily
+      exists by then, the interpreted engine would score one
+      ``proposal_cache_hits`` per row, which the plan engine mirrors
+      in bulk.
     """
 
     def __init__(self) -> None:
@@ -231,6 +274,11 @@ class SharedSolverCache:
         #: can therefore never alias a stale entry.
         self.proposal_memo: dict = {}
         self.base_solutions: dict[IdiomSpec, list[dict[str, Value]]] = {}
+        self.prefix_trie: dict[
+            tuple[IdiomSpec, int], list[dict[str, Value]]
+        ] = {}
+        self.intersection_memo: dict[tuple, list[Value]] = {}
+        self.depth_memo: dict[tuple, tuple[list[Value], bool]] = {}
 
     def solutions_for(self, spec: IdiomSpec):
         """Cached full solution list for ``spec``, or None."""
@@ -244,6 +292,9 @@ class SharedSolverCache:
         """Drop all shared search state (frees the pinned objects)."""
         self.proposal_memo.clear()
         self.base_solutions.clear()
+        self.prefix_trie.clear()
+        self.intersection_memo.clear()
+        self.depth_memo.clear()
 
 
 class CompiledSpec:
@@ -388,20 +439,46 @@ def detect(
     limit: int | None = None,
     incremental: bool = True,
     cache: SharedSolverCache | None = None,
+    engine: str | None = None,
 ) -> list[dict[str, Value]]:
     """All assignments satisfying ``spec`` in ``ctx``'s function.
 
-    ``incremental=False`` re-checks the whole constraint tree after
-    every binding (the original Fig. 6 formulation); the default
-    indexed path checks only conjuncts affected by the newest binding.
-    Both accept/reject exactly the same partial assignments and return
-    solutions in the same order.
+    ``engine`` picks the execution strategy:
+
+    * ``"compiled"`` — the flat-evaluation-plan engine
+      (:func:`~repro.constraints.plan.detect_plan`): slot-indexed atom
+      closures, compile-time redundancy pruning (recorded in
+      ``SolverStats.evals_pruned``), optional vectorized candidate
+      filtering and partial-prefix trie replay.  Identical solutions
+      and search counters; ``constraint_evals`` reflects only the
+      evaluations actually performed;
+    * ``"interpreted"`` — this module's constraint-object interpreter,
+      the differential oracle.  ``incremental=False`` further selects
+      the naive full-tree walk (the original Fig. 6 formulation)
+      instead of the per-depth conjunct index;
+    * None (default) — ``"compiled"`` when ``incremental`` is true,
+      the interpreted tree walk otherwise, preserving the historical
+      meaning of ``incremental=False``.
+
+    Both engines accept/reject exactly the same partial assignments
+    and return solutions in the same order.
 
     ``cache`` defaults to ``ctx.solver_cache`` — the per-context shared
     state (memoized proposals, solved base prefixes).  Pass a fresh
     :class:`SharedSolverCache` for fully per-call state (the PR-1
     engine; used by differential tests and the pipeline benchmark).
     """
+    if engine is None:
+        engine = "compiled" if incremental else "interpreted"
+    if engine == "compiled":
+        from .plan import detect_plan
+
+        return detect_plan(ctx, spec, stats=stats, limit=limit, cache=cache)
+    if engine != "interpreted":
+        raise ValueError(
+            f"unknown solver engine {engine!r} "
+            "(expected 'compiled' or 'interpreted')"
+        )
     compiled = compile_spec(spec)
     order = spec.label_order
     conjuncts = compiled.conjuncts
@@ -507,7 +584,12 @@ def _base_prefix_solutions(
         if limit is not None:
             return None
         base_stats = SolverStats()
-        solutions = detect(ctx, base, stats=base_stats, cache=cache)
+        # Stay on the interpreted engine: a caller that chose it (the
+        # differential oracle) must not have its base search silently
+        # routed through the compiled plan.
+        solutions = detect(
+            ctx, base, stats=base_stats, cache=cache, engine="interpreted"
+        )
         cache.store_solutions(base, solutions)
         # Charge the base search's effort — but not its solution count
         # (or prefix-reuse tally) — to the caller: the prefix work

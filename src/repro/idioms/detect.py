@@ -47,6 +47,7 @@ def find_reductions_in_function(
     module: Module | None = None,
     registry: IdiomRegistry | None = None,
     shared_cache: bool = True,
+    engine: str | None = None,
 ) -> FunctionReductions:
     """Detect and post-process all reductions of one function.
 
@@ -55,7 +56,10 @@ def find_reductions_in_function(
     scalar and histogram searches reuse one solved for-loop prefix and
     each other's memoized proposals.  ``shared_cache=False`` gives each
     ``detect`` call private state — the PR-1 engine, kept as the
-    differential/benchmark baseline.
+    differential/benchmark baseline.  ``engine`` selects the solver
+    execution engine per :func:`~repro.constraints.detect`
+    (``"compiled"``/``"interpreted"``/None for the default);
+    detections are engine-independent.
     """
     registry = registry if registry is not None else default_registry()
     scalar_spec = registry.spec("scalar-reduction")
@@ -71,7 +75,8 @@ def find_reductions_in_function(
         # aggregate, so the total effort is exactly what a single
         # shared counter would have seen.
         spec_stat = SolverStats()
-        solutions = detect(ctx, spec, stats=spec_stat, cache=cache)
+        solutions = detect(ctx, spec, stats=spec_stat, cache=cache,
+                           engine=engine)
         result.spec_stats.setdefault(
             spec.name, SolverStats()
         ).merge(spec_stat)
@@ -95,7 +100,7 @@ def find_reductions_in_function(
             return
         base_stat = SolverStats()
         solutions = detect(ctx, base, stats=base_stat,
-                           cache=ctx.solver_cache)
+                           cache=ctx.solver_cache, engine=engine)
         ctx.solver_cache.store_solutions(base, solutions)
         result.spec_stats.setdefault(
             base.name, SolverStats()
@@ -133,6 +138,7 @@ def find_reductions(
     module: Module,
     registry: IdiomRegistry | None = None,
     shared_cache: bool = True,
+    engine: str | None = None,
 ) -> DetectionReport:
     """Detect reductions in every defined function of ``module``."""
     report = DetectionReport(module.name)
@@ -141,7 +147,7 @@ def find_reductions(
         report.functions.append(
             find_reductions_in_function(
                 function, module, registry=registry,
-                shared_cache=shared_cache,
+                shared_cache=shared_cache, engine=engine,
             )
         )
     report.solve_seconds = time.perf_counter() - started

@@ -293,6 +293,7 @@ def find_extended_in_function(
     stats: SolverStats | None = None,
     shared_cache: bool = True,
     spec_stats: dict[str, SolverStats] | None = None,
+    engine: str | None = None,
 ) -> FunctionExtensions:
     """Run the three extension idioms on one function.
 
@@ -303,7 +304,9 @@ def find_extended_in_function(
     ``shared_cache=False`` gives every spec private solver state (the
     PR-1 baseline).  ``spec_stats`` collects each extension spec's
     search effort under its own name (the solver feedback store's
-    per-spec signal) in addition to the ``stats`` aggregate.
+    per-spec signal) in addition to the ``stats`` aggregate.  ``engine``
+    selects the solver execution engine per
+    :func:`~repro.constraints.detect`.
     """
     from ..constraints import SharedSolverCache
     from .registry import default_registry
@@ -316,7 +319,8 @@ def find_extended_in_function(
     def run(spec):
         cache = ctx.solver_cache if shared_cache else SharedSolverCache()
         local = SolverStats()
-        solutions = detect(ctx, spec, stats=local, cache=cache)
+        solutions = detect(ctx, spec, stats=local, cache=cache,
+                           engine=engine)
         if spec_stats is not None:
             spec_stats.setdefault(spec.name, SolverStats()).merge(local)
         if stats is not None:

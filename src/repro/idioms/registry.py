@@ -253,10 +253,12 @@ class IdiomRegistry:
     def describe(self) -> str:
         """A human-readable table for ``--list-idioms``."""
         from ..constraints import compile_spec
+        from ..constraints.plan import compile_plan
 
         lines = ["registered idioms:"]
         for entry in self:
             compiled = compile_spec(entry.spec)
+            plan = compile_plan(entry.spec)
             source = entry.source
             if source not in ("native", "api"):
                 source = os.path.basename(source)
@@ -264,6 +266,7 @@ class IdiomRegistry:
             lines.append(
                 f"  {entry.name:<18} {len(entry.spec.label_order):>2} labels"
                 f"  {len(compiled.conjuncts):>2} constraints"
+                f"  {plan.conjuncts_pruned:>2} pruned"
                 f"  [{origin}, {source}]"
             )
         return "\n".join(lines)

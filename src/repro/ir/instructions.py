@@ -302,10 +302,8 @@ class PhiInst(Instruction):
     @property
     def incoming(self) -> list[tuple[Value, "BasicBlock"]]:
         """The list of (value, predecessor) pairs."""
-        pairs = []
-        for i in range(0, len(self._operands), 2):
-            pairs.append((self._operands[i], self._operands[i + 1]))
-        return pairs
+        ops = self._operands
+        return list(zip(ops[::2], ops[1::2]))
 
     def incoming_for_block(self, block: "BasicBlock") -> Value:
         """Return the value flowing in from predecessor ``block``."""
@@ -316,7 +314,7 @@ class PhiInst(Instruction):
 
     def incoming_values(self) -> list[Value]:
         """The incoming values only (no blocks)."""
-        return [value for value, _ in self.incoming]
+        return self._operands[::2]
 
 
 class BranchInst(Instruction):

@@ -236,6 +236,7 @@ def detect_corpus(
     suites: Sequence[str] | None = None,
     spec_files: Sequence[str] = (),
     shared_cache: bool = True,
+    engine: str | None = None,
     start_method: str | None = None,
     keys: Sequence[Key] | None = None,
     granularity: str = "program",
@@ -264,6 +265,7 @@ def detect_corpus(
         suites=tuple(suites) if suites is not None else None,
         spec_files=tuple(spec_files),
         shared_cache=shared_cache,
+        engine=engine,
         start_method=start_method,
         granularity=granularity,
         split_threshold=split_threshold,

@@ -51,7 +51,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Artifact schema version; bumped on incompatible changes so an old
 #: artifact fails with a clear message instead of a KeyError.
-FEEDBACK_VERSION = 1
+#: Version 2: :class:`SolverStats` grew the compiled-engine counters
+#: (``conjuncts_pruned``, ``evals_pruned``, ``trie_reuses``), which
+#: participate in ``canonical()`` and therefore in artifact
+#: fingerprints.
+FEEDBACK_VERSION = 2
 
 #: Canonical wire form of a spec-orders mapping: name-sorted
 #: ``(name, (label, ...))`` pairs.  Hashable, picklable, and usable as

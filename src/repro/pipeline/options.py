@@ -31,6 +31,12 @@ class PipelineOptions:
     #: (False restores the per-``detect``-call PR-1 engine — the
     #: benchmark baseline).
     shared_cache: bool = True
+    #: Solver execution engine: ``"compiled"`` (flat evaluation plans),
+    #: ``"interpreted"`` (the naive tree-walking oracle), or None for
+    #: the :func:`~repro.constraints.detect` default.  Detections,
+    #: digests and fingerprints are engine-independent; only wall-clock
+    #: and the pruning counters move.
+    engine: str | None = None
     #: multiprocessing start method (None = fork when available).
     start_method: str | None = None
     #: Work-unit granularity: ``"program"`` ships whole programs,
@@ -76,6 +82,18 @@ class PipelineOptions:
     #: worker is resubmitted before the job records a structured
     #: :class:`~repro.pipeline.digest.UnitFailure` for its program.
     max_unit_retries: int = 2
+    #: Serving engine only: units queued on each worker *beyond* the
+    #: one it is running (its dispatch window is ``1 +
+    #: prefetch_units``).  Prefetching hides the parent's dispatch
+    #: latency — a worker finishing a unit starts the next one from its
+    #: own queue instead of idling a round-trip through the supervisor
+    #: (measured in ``results/BENCH_gateway.json``).  A dead worker's
+    #: whole window is recovered: every queued unit is resubmitted,
+    #: exactly like the in-flight one.  0 restores depth-one dispatch,
+    #: where a later interactive submit overtakes at every unit
+    #: boundary instead of every window boundary.  Reports are
+    #: identical either way; only latency moves.
+    prefetch_units: int = 1
     #: Per-worker compiled-module cache bound: a worker keeps at most
     #: this many compiled programs, evicting least-recently-used
     #: (None = unbounded, compatible with the historical behaviour).
@@ -110,6 +128,10 @@ class PipelineOptions:
                 f"max_tasks_per_worker must be >= 1 or None, "
                 f"got {self.max_tasks_per_worker}"
             )
+        if self.prefetch_units < 0:
+            raise ValueError(
+                f"prefetch_units must be >= 0, got {self.prefetch_units}"
+            )
         if self.max_unit_retries < 0:
             raise ValueError(
                 f"max_unit_retries must be >= 0, "
@@ -127,6 +149,11 @@ class PipelineOptions:
             raise ValueError(
                 f"gateway_unit_budget must be >= 1, "
                 f"got {self.gateway_unit_budget}"
+            )
+        if self.engine not in (None, "compiled", "interpreted"):
+            raise ValueError(
+                f"engine must be 'compiled', 'interpreted' or None, "
+                f"got {self.engine!r}"
             )
         # Normalize list arguments so options compare/pickle cleanly.
         object.__setattr__(self, "spec_files", tuple(self.spec_files))

@@ -17,6 +17,11 @@ processes alive across requests:
   dequeued weighted-fair (stride scheduling), so an interactive submit
   overtakes a deep backlog of queued batch units instead of waiting
   behind it, while a lone batch job still gets the whole pool;
+* **dispatch is windowed** — each worker runs one unit and holds up
+  to ``prefetch_units`` more on its private queue, so finishing a
+  unit starts the next without idling a supervisor round-trip; the
+  worker-side gap is measured per unit and reported through
+  :meth:`ServingEngine.mean_dispatch_gap`;
 * **jobs are cancellable** — :meth:`ServingJob.cancel` drains the
   job's queued units from the scheduler, flags its in-flight units
   (their results are dropped on arrival) and makes
@@ -235,8 +240,17 @@ def serve_worker(worker_id: int, task_queue, result_conn,
     try:
         registries: dict = {None: _build_registry(options)}
         modules = ModuleCache(options.module_cache_size)
+        # Dispatch-gap instrumentation: how long this worker sat in
+        # ``get()`` between finishing one unit and starting the next —
+        # the latency prefetching exists to hide.  The first task's
+        # wait (process boot, not a dispatch gap) reports as zero.
+        last_done: float | None = None
         while True:
             task = task_queue.get()
+            idle = (
+                0.0 if last_done is None
+                else time.monotonic() - last_done
+            )
             if task is None or (stop is not None and stop.is_set()):
                 break
             job_id, unit, orders = task
@@ -252,13 +266,14 @@ def serve_worker(worker_id: int, task_queue, result_conn,
             try:
                 digest = detect_unit(unit, options, registry, modules)
                 sender.put(
-                    ("done", worker_id, job_id, unit, digest, None)
+                    ("done", worker_id, job_id, unit, digest, None, idle)
                 )
             except Exception as exc:  # propagate, don't die
                 sender.put(
                     ("done", worker_id, job_id, unit, None,
-                     f"{type(exc).__name__}: {exc}")
+                     f"{type(exc).__name__}: {exc}", idle)
                 )
+            last_done = time.monotonic()
     finally:
         beacon.stop()
 
@@ -267,11 +282,13 @@ def serve_worker(worker_id: int, task_queue, result_conn,
 class _WorkerHandle:
     """Parent-side view of one worker process.
 
-    ``assignment`` is the single in-flight dispatch — the engine hands
-    each worker exactly one unit at a time (its own task queue, depth
-    one), which is what makes a killed worker's loss *exact*: the
-    engine knows precisely which unit died with it and resubmits that
-    unit, nothing else.
+    ``assignments`` is the worker's dispatch window, oldest first: the
+    unit it is running plus up to ``prefetch_units`` queued behind it
+    on its private task queue.  The worker drains its queue FIFO, so
+    each ``done`` message answers the window's head — and a killed
+    worker's loss stays *exact*: the engine knows precisely which
+    units died with it (the whole window) and resubmits those units,
+    nothing else.
     """
 
     worker_id: int
@@ -279,10 +296,15 @@ class _WorkerHandle:
     queue: object
     #: Parent-side read end of the worker's private result pipe.
     conn: object = None
-    #: ``(job_id, unit, attempt, job_class)`` or None when idle.
-    assignment: tuple | None = None
+    #: ``(job_id, unit, attempt, job_class)`` dispatches, oldest first.
+    assignments: deque = field(default_factory=deque)
     tasks_done: int = 0
     last_beat: float = field(default_factory=time.monotonic)
+
+    @property
+    def assignment(self) -> tuple | None:
+        """The window's head — the unit the worker is running now."""
+        return self.assignments[0] if self.assignments else None
 
 
 class ServingJob:
@@ -494,13 +516,17 @@ class ServingEngine:
 
     Architecturally a supervisor: pending units live in the parent's
     :class:`PriorityScheduler` (not a shared queue), each worker holds
-    exactly one in-flight unit on its private task queue, and every
-    completion triggers the next weighted-fair dispatch.  That one
-    design choice buys the whole reliability story — priorities apply
-    up to the very next unit, cancellation can drain the queue
-    synchronously, and a dead worker loses exactly one known unit,
-    which is resubmitted (bounded by ``max_unit_retries``) while a
-    replacement process keeps the pool at full strength.
+    a small known dispatch window (the running unit plus
+    ``prefetch_units`` queued on its private task queue), and every
+    completion triggers the next weighted-fair dispatch.  That design
+    buys the whole reliability story — priorities apply at every
+    window boundary, cancellation can drain the scheduler
+    synchronously, and a dead worker loses exactly its window, whose
+    units are resubmitted (bounded by ``max_unit_retries``) while a
+    replacement process keeps the pool at full strength.  Prefetching
+    only hides the supervisor round-trip between units; with
+    ``prefetch_units=0`` the engine degenerates to strict depth-one
+    dispatch.
     """
 
     def __init__(self, options: PipelineOptions | None = None, **kwargs):
@@ -528,6 +554,12 @@ class ServingEngine:
         self.worker_deaths = 0
         self.resubmissions = 0
         self.recycled = 0
+        #: Dispatch-gap telemetry: summed worker-side idle between
+        #: consecutive units (reported by each ``done`` message) and
+        #: the sample count — ``mean_dispatch_gap`` is what the
+        #: prefetch window exists to shrink.
+        self.idle_seconds = 0.0
+        self.idle_samples = 0
         #: The options' weight source, resolved once for the engine's
         #: lifetime — ``weights_from`` names an immutable report file,
         #: and a persistent engine must not re-read and re-verify it
@@ -819,6 +851,18 @@ class ServingEngine:
         snapshot.merge(self._feedback_accum)
         return snapshot
 
+    def mean_dispatch_gap(self) -> float:
+        """Mean worker-side idle between consecutive units, seconds.
+
+        Each ``done`` message reports how long its worker waited on
+        its task queue after finishing the previous unit; this is the
+        running mean.  With ``prefetch_units=0`` every gap is a full
+        supervisor round-trip; with a prefetch window the next unit is
+        already local and the gap collapses to a queue read.
+        """
+        return self.idle_seconds / self.idle_samples \
+            if self.idle_samples else 0.0
+
     # -- job bookkeeping -----------------------------------------------------
 
     def _cancel(self, job: ServingJob) -> int:
@@ -834,21 +878,36 @@ class ServingEngine:
     # -- the dispatcher ------------------------------------------------------
 
     def _dispatch(self) -> None:
-        """Hand the next scheduled unit to every idle worker."""
-        for handle in list(self._workers.values()):
-            if handle.assignment is not None:
-                continue
-            while True:
-                entry = self._scheduler.pop()
-                if entry is None:
-                    return
-                job_id, unit, attempt, cls = entry
-                job = self._jobs.get(job_id)
-                if job is None:
-                    continue  # cancelled or abandoned; drop the unit
-                handle.queue.put((job_id, unit, job._spec_orders))
-                handle.assignment = (job_id, unit, attempt, cls)
-                break
+        """Fill every worker's dispatch window from the scheduler.
+
+        Round by round — first every worker gets a running unit, then
+        the prefetch slots fill — so prefetching never starves an idle
+        worker while another's queue doubles up.  Workers at their
+        recycle quota are skipped: their windows drain so the graceful
+        sentinel can follow.
+        """
+        depth = 1 + self.options.prefetch_units
+        limit = self.options.max_tasks_per_worker
+        handles = [
+            handle for handle in self._workers.values()
+            if limit is None or handle.tasks_done < limit
+        ]
+        for fill in range(1, depth + 1):
+            for handle in handles:
+                if len(handle.assignments) >= fill:
+                    continue
+                while True:
+                    entry = self._scheduler.pop()
+                    if entry is None:
+                        return
+                    job_id, unit, attempt, cls = entry
+                    job = self._jobs.get(job_id)
+                    if job is None:
+                        continue  # cancelled or abandoned; drop it
+                    handle.queue.put((job_id, unit, job._spec_orders))
+                    handle.assignments.append((job_id, unit, attempt,
+                                               cls))
+                    break
 
     def _poll_timeout(self) -> float:
         return max(0.05, min(1.0, self.options.heartbeat_timeout / 4.0))
@@ -938,12 +997,15 @@ class ServingEngine:
             if handle is not None:
                 handle.last_beat = time.monotonic()
             return
-        _, worker_id, job_id, unit, digest, error = message
+        _, worker_id, job_id, unit, digest, error, idle = message
+        self.idle_seconds += idle
+        self.idle_samples += 1
         handle = self._workers.get(worker_id)
         if handle is not None:
-            # Depth-one dispatch: a live worker's message always
-            # answers its current assignment.
-            handle.assignment = None
+            # FIFO dispatch window: a live worker's message always
+            # answers the window's head.
+            if handle.assignments:
+                handle.assignments.popleft()
             handle.tasks_done += 1
             handle.last_beat = time.monotonic()
             self._maybe_recycle(handle)
@@ -974,6 +1036,11 @@ class ServingEngine:
         """
         limit = self.options.max_tasks_per_worker
         if limit is None or handle.tasks_done < limit:
+            return
+        if handle.assignments:
+            # Prefetched units are still queued behind the quota-hitting
+            # one; let the window drain (the dispatcher has stopped
+            # refilling it) — this re-runs at each of their completions.
             return
         handle.queue.put(None)
         self._workers.pop(handle.worker_id, None)
@@ -1030,23 +1097,26 @@ class ServingEngine:
             pass
         self._retired.append(handle.process)
         self.worker_deaths += 1
-        if handle.assignment is not None:
-            job_id, unit, attempt, cls = handle.assignment
+        # Recover the whole dispatch window — the running unit and any
+        # prefetched behind it died with the worker.  Reversed +
+        # push_front keeps their original order at the queue head.
+        for job_id, unit, attempt, cls in reversed(handle.assignments):
             job = self._jobs.get(job_id)
-            if job is not None:
-                if attempt < self.options.max_unit_retries:
-                    self._scheduler.push_front(
-                        job_id, unit, attempt + 1, cls
-                    )
-                    self.resubmissions += 1
-                else:
-                    job._lost(unit, UnitFailure(
-                        name=unit.name,
-                        suite=unit.suite,
-                        function=unit.function,
-                        error=reason,
-                        attempts=attempt + 1,
-                    ))
-                    if job.done:
-                        self._jobs.pop(job_id, None)
+            if job is None:
+                continue
+            if attempt < self.options.max_unit_retries:
+                self._scheduler.push_front(
+                    job_id, unit, attempt + 1, cls
+                )
+                self.resubmissions += 1
+            else:
+                job._lost(unit, UnitFailure(
+                    name=unit.name,
+                    suite=unit.suite,
+                    function=unit.function,
+                    error=reason,
+                    attempts=attempt + 1,
+                ))
+                if job.done:
+                    self._jobs.pop(job_id, None)
         self._spawn_worker()

@@ -241,6 +241,7 @@ def detect_unit(
         fr = find_reductions_in_function(
             function, module, registry=registry,
             shared_cache=options.shared_cache,
+            engine=options.engine,
         )
         detect_seconds += time.perf_counter() - started
         if options.extended:
@@ -256,6 +257,7 @@ def detect_unit(
                 stats=fr.stats,
                 shared_cache=options.shared_cache,
                 spec_stats=fr.spec_stats,
+                engine=options.engine,
             )
             extended = extended + digest_extensions(matches)
             extend_seconds += time.perf_counter() - started

@@ -24,6 +24,7 @@ from hypothesis import strategies as st
 from repro.constraints import SolverContext, SolverStats, detect
 from repro.idioms.detect import find_reductions_in_function
 from repro.idioms.registry import IdiomRegistry
+from repro.pipeline.feedback import FEEDBACK_VERSION
 from repro.pipeline import (
     FeedbackStore,
     JobClass,
@@ -119,7 +120,7 @@ def test_feedback_load_rejects_tampering_and_bad_version(tmp_path):
         load_feedback(str(path))
 
     # Deleting the mismatching fingerprint must not bypass the check.
-    data["version"] = 1
+    data["version"] = FEEDBACK_VERSION
     del data["fingerprint"]
     path.write_text(json.dumps(data))
     with pytest.raises(ValueError, match="missing its fingerprint"):

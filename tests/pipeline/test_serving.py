@@ -255,3 +255,65 @@ def test_serving_start_methods_agree(method):
     assert report.fingerprint() == detect_corpus(
         jobs=1, keys=KEYS[:3]
     ).fingerprint()
+
+
+# -- dispatch prefetch --------------------------------------------------------
+
+
+def test_prefetch_depths_serve_identical_reports():
+    """Any prefetch window serves the exact serial report — prefetching
+    moves latency only, never results — and the engine's dispatch-gap
+    meter actually sampled the run."""
+    serial = detect_corpus(jobs=1, keys=KEYS[:6])
+    for prefetch in (0, 1, 3):
+        options = PipelineOptions(jobs=2, granularity="function",
+                                  prefetch_units=prefetch)
+        with ServingEngine(options) as engine:
+            report = engine.serve(KEYS[:6])
+            assert engine.idle_samples > 0
+            assert engine.mean_dispatch_gap() >= 0.0
+        assert report.programs == serial.programs
+        assert report.fingerprint() == serial.fingerprint()
+
+
+def test_prefetch_window_never_exceeds_its_depth():
+    """The dispatcher fills each worker's queue to at most
+    ``1 + prefetch_units``, and with prefetching on, some worker is
+    observed holding more than the in-flight unit."""
+    prefetch = 3
+    options = PipelineOptions(jobs=2, granularity="function",
+                              prefetch_units=prefetch)
+    deepest = 0
+    with ServingEngine(options) as engine:
+        job = engine.submit(KEYS[:8])
+        for _ in job.stream():
+            for handle in engine._workers.values():
+                deepest = max(deepest, len(handle.assignments))
+        report = job.result()
+    assert deepest <= 1 + prefetch
+    assert deepest >= 2  # prefetching observably queued ahead
+    assert report.fingerprint() == detect_corpus(
+        jobs=1, keys=KEYS[:8]
+    ).fingerprint()
+
+
+def test_killed_worker_loses_its_whole_window_and_recovers():
+    """A dead worker's prefetched units — not just the in-flight one —
+    are resubmitted; the report stays fingerprint-identical."""
+    options = PipelineOptions(jobs=2, granularity="function",
+                              prefetch_units=3)
+    with ServingEngine(options) as engine:
+        job = engine.submit(KEYS[:5])
+        stream = job.stream()
+        next(stream)  # mid-flight, windows filled
+        victim = next(iter(engine._workers.values()))
+        lost = len(victim.assignments)
+        victim.process.kill()
+        list(stream)
+        report = job.result()
+        assert engine.worker_deaths >= 1
+        assert lost >= 1  # the window held queued work when it died
+    assert report.failures == ()
+    assert report.fingerprint() == detect_corpus(
+        jobs=1, keys=KEYS[:5]
+    ).fingerprint()
