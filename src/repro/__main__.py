@@ -13,6 +13,21 @@ Commands
     per-spec solver statistics as a feedback artifact;
     ``--feedback-from`` re-orders every measured spec from one.
 
+``lint [FILE.icsl ...]``
+    Statically analyze idiom spec files (default: the six shipped
+    specs, plus the cross-spec registry sweep).  Reports unconstrained
+    order labels, labels with no guaranteed proposer at their depth,
+    value-kind conflicts, constant (always-true/false) conjuncts,
+    broken ``extends`` prefixes, the plan compiler's redundancy
+    pruning, unused ``# lint: ignore[...]`` suppressions and pairwise
+    idiom subsumption measured on a synthesized micro-universe.  Every
+    finding carries a stable ``ICSL0xx`` code, a source span and a fix
+    hint.  ``--strict`` promotes warnings to a nonzero exit, ``--json``
+    emits the machine-readable report, ``--notes`` shows the
+    engine-pruning notes, ``--no-cross`` skips the subsumption sweep.
+    Exit status: 2 when a file fails to parse, 1 on gating findings,
+    0 when clean.
+
 ``emit FILE.c``
     Print the canonical SSA IR after the full pass pipeline.
 
@@ -91,10 +106,10 @@ def _read(path: str) -> str:
         return handle.read()
 
 
-def _build_registry(spec_paths):
+def _build_registry(spec_paths, lint: bool = False):
     from .idioms import IdiomRegistry
 
-    registry = IdiomRegistry()
+    registry = IdiomRegistry(lint=lint)
     for path in spec_paths or ():
         registry.load_file(path)
     return registry
@@ -157,10 +172,14 @@ def _cmd_detect(args) -> int:
     )
 
     try:
-        registry = _build_registry(args.spec)
+        registry = _build_registry(args.spec, lint=args.lint)
     except (OSError, ValueError, SpecFileError) as exc:
         # ValueError covers UnicodeDecodeError from non-text files.
         print(f"error: cannot load spec file: {exc}", file=sys.stderr)
+        if isinstance(exc, SpecFileError):
+            rendered = exc.render()
+            if rendered != str(exc):
+                print(rendered, file=sys.stderr)
         return 2
     if args.feedback_from:
         store, code = _load_feedback_cli(args.feedback_from)
@@ -246,6 +265,26 @@ def _cmd_detect(args) -> int:
         _save_feedback_cli(feedback_from_detection(report),
                            args.save_feedback)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from .constraints import BUILTIN_SPEC_FILES, builtin_spec_path
+    from .constraints.analysis import (
+        exit_code,
+        lint_spec_files,
+        render_report,
+        report_json,
+    )
+
+    paths = args.files or [
+        builtin_spec_path(name) for name in BUILTIN_SPEC_FILES
+    ]
+    diags, parse_failed = lint_spec_files(paths, cross=not args.no_cross)
+    if args.json:
+        print(report_json(diags, strict=args.strict, files=paths), end="")
+    else:
+        print(render_report(diags, notes=args.notes))
+    return exit_code(diags, strict=args.strict, parse_failed=parse_failed)
 
 
 def _cmd_emit(args) -> int:
@@ -662,7 +701,26 @@ def main(argv: list[str] | None = None) -> int:
                             default=None,
                             help="save this run's per-spec solver "
                                  "statistics for later --feedback-from use")
+    detect_cmd.add_argument("--lint", action="store_true",
+                            help="gate every loaded spec on the static "
+                                 "analyzer (errors reject the spec)")
     detect_cmd.set_defaults(fn=_cmd_detect)
+
+    lint_cmd = commands.add_parser(
+        "lint", help="statically analyze idiom spec files")
+    lint_cmd.add_argument("files", nargs="*", metavar="FILE.icsl",
+                          help="spec files to analyze (default: the "
+                               "shipped built-in specs)")
+    lint_cmd.add_argument("--strict", action="store_true",
+                          help="warnings also produce a nonzero exit")
+    lint_cmd.add_argument("--json", action="store_true",
+                          help="emit the machine-readable JSON report")
+    lint_cmd.add_argument("--notes", action="store_true",
+                          help="show engine-pruning notes in the text "
+                               "report (JSON always carries them)")
+    lint_cmd.add_argument("--no-cross", action="store_true",
+                          help="skip the cross-spec subsumption sweep")
+    lint_cmd.set_defaults(fn=_cmd_lint)
 
     emit_cmd = commands.add_parser("emit", help="print canonical SSA IR")
     emit_cmd.add_argument("file")

@@ -7,6 +7,14 @@ backtracking solver that finds all satisfying value tuples in a
 function.
 """
 
+from .analysis import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    analyze_registry,
+    analyze_spec,
+    cross_spec_diagnostics,
+    lint_spec_files,
+)
 from .atomic import (
     Blocked,
     CFGEdge,
@@ -109,4 +117,10 @@ __all__ = [
     "BUILTIN_SPEC_FILES",
     "builtin_spec_dir",
     "builtin_spec_path",
+    "Diagnostic",
+    "DIAGNOSTIC_CODES",
+    "analyze_spec",
+    "analyze_registry",
+    "cross_spec_diagnostics",
+    "lint_spec_files",
 ]

@@ -101,6 +101,12 @@ class CFGEdge(Constraint):
         a, b = self.labels
         return (label == b and a in bound) or (label == a and b in bound)
 
+    def label_kinds(self):
+        return tuple((label, "block") for label in self.labels)
+
+    def proposable_labels(self, bound):
+        return frozenset(self.labels)
+
 
 class EndsInUncondBranch(Constraint):
     """Block ``block`` terminates in ``br target`` — Fig. 5's
@@ -156,6 +162,16 @@ class EndsInUncondBranch(Constraint):
         return (label == target and block in bound) or (
             label == block and target in bound
         )
+
+    def label_kinds(self):
+        return tuple((label, "block") for label in self.labels)
+
+    def proposable_labels(self, bound):
+        block, target = self.labels
+        proposable = {block}
+        if block in bound:
+            proposable.add(target)
+        return frozenset(proposable)
 
 
 class EndsInCondBranch(Constraint):
@@ -227,6 +243,19 @@ class EndsInCondBranch(Constraint):
         # other bound parts, so only the block direction is implied.
         return label == self.labels[0]
 
+    def label_kinds(self):
+        block, cond, then, els = self.labels
+        return (
+            (block, "block"), (cond, "value"),
+            (then, "block"), (els, "block"),
+        )
+
+    def proposable_labels(self, bound):
+        proposable = {self.labels[0]}
+        if self.labels[0] in bound:
+            proposable.update(self.labels[1:])
+        return frozenset(proposable)
+
 
 class Dominates(Constraint):
     """Block ``a`` dominates block ``b`` in the CFG."""
@@ -280,6 +309,12 @@ class Dominates(Constraint):
         if label in self.labels:
             return ctx.blocks()
         return None
+
+    def label_kinds(self):
+        return tuple((label, "block") for label in self.labels)
+
+    def proposable_labels(self, bound):
+        return frozenset(self.labels)
 
 
 class StrictlyDominates(Dominates):
@@ -336,6 +371,9 @@ class Blocked(Constraint):
     def structural_key(self):
         return ("blocked", self.labels)
 
+    def label_kinds(self):
+        return tuple((label, "block") for label in self.labels)
+
 
 class SESERegion(Constraint):
     """``begin`` and ``end`` span a single-entry single-exit region —
@@ -385,6 +423,12 @@ class SESERegion(Constraint):
         if label in self.labels:
             return ctx.blocks()
         return None
+
+    def label_kinds(self):
+        return tuple((label, "block") for label in self.labels)
+
+    def proposable_labels(self, bound):
+        return frozenset(self.labels)
 
 
 class Opcode(Constraint):
@@ -568,6 +612,35 @@ class Opcode(Constraint):
             )
         return True
 
+    #: The kind each opcode pins its instruction label to; anything
+    #: else is just "instruction".
+    _OPCODE_KINDS = {
+        "phi": "phi", "load": "load", "store": "store",
+        "icmp": "cmp", "fcmp": "cmp",
+    }
+
+    def label_kinds(self):
+        kinds = {
+            self._OPCODE_KINDS.get(opcode, "instruction")
+            for opcode in self.opcodes
+        }
+        x_kind = kinds.pop() if len(kinds) == 1 else "instruction"
+        pairs = [(self.x_label, x_kind)]
+        pairs.extend(
+            (label, "value")
+            for label in self.operand_labels
+            if label is not None
+        )
+        return tuple(pairs)
+
+    def proposable_labels(self, bound):
+        proposable = {self.x_label}
+        if self.x_label in bound:
+            proposable.update(
+                label for label in self.operand_labels if label is not None
+            )
+        return frozenset(proposable)
+
 
 class PhiOfTwo(Constraint):
     """``x = Φ(a, b)``: a PHI with exactly two incoming values, matching
@@ -674,6 +747,15 @@ class PhiOfTwo(Constraint):
         other = b if label == a else a if label == b else None
         return other is not None and other not in bound
 
+    def label_kinds(self):
+        x, a, b = self.labels
+        return ((x, "phi"), (a, "value"), (b, "value"))
+
+    def proposable_labels(self, bound):
+        if self.labels[0] in bound:
+            return frozenset(self.labels)
+        return frozenset((self.labels[0],))
+
 
 class PhiIncomingFromBlock(Constraint):
     """The PHI ``phi`` receives ``value`` from predecessor ``block``."""
@@ -747,6 +829,15 @@ class PhiIncomingFromBlock(Constraint):
             return phi in bound and value in bound
         return False
 
+    def label_kinds(self):
+        phi, value, block = self.labels
+        return ((phi, "phi"), (value, "value"), (block, "block"))
+
+    def proposable_labels(self, bound):
+        if self.labels[0] in bound:
+            return frozenset(self.labels)
+        return frozenset((self.labels[0],))
+
 
 class InBlock(Constraint):
     """Instruction ``x`` lives in block ``block``."""
@@ -791,6 +882,19 @@ class InBlock(Constraint):
         return (label == block and x in bound) or (
             label == x and block in bound
         )
+
+    def label_kinds(self):
+        x, block = self.labels
+        return ((x, "instruction"), (block, "block"))
+
+    def proposable_labels(self, bound):
+        x, block = self.labels
+        proposable = set()
+        if x in bound:
+            proposable.add(block)
+        if block in bound:
+            proposable.add(x)
+        return frozenset(proposable)
 
 
 class IsConstantLike(Constraint):
@@ -839,6 +943,12 @@ class IsConstantLike(Constraint):
         # Proposals are the universe filtered by the check itself.
         return label == self.labels[0]
 
+    def label_kinds(self):
+        return ((self.labels[0], "constlike"),)
+
+    def proposable_labels(self, bound):
+        return frozenset(self.labels)
+
 
 class DefDominatesBlock(Constraint):
     """``x`` is an instruction whose defining block dominates ``block``
@@ -872,6 +982,10 @@ class DefDominatesBlock(Constraint):
 
     def structural_key(self):
         return ("def_dominates_block", self.labels)
+
+    def label_kinds(self):
+        x, block = self.labels
+        return ((x, "instruction"), (block, "block"))
 
 
 class Distinct(Constraint):
@@ -924,13 +1038,24 @@ class Predicate(Constraint):
     in Python (e.g. "the bound header actually heads a natural loop").
     """
 
-    def __init__(self, labels: tuple[str, ...], fn, name: str = "predicate"):
+    def __init__(self, labels: tuple[str, ...], fn, name: str = "predicate",
+                 kinds: tuple[str, ...] | None = None):
         self.labels = tuple(labels)
         self.fn = fn
         self.name = name
+        #: Optional value-kind requirements aligned with ``labels``
+        #: (see :meth:`Constraint.label_kinds`).
+        self.kinds = tuple(kinds) if kinds else ()
 
     def check(self, ctx, assignment):
         return bool(self.fn(ctx, assignment))
+
+    def label_kinds(self):
+        return tuple(
+            (label, kind)
+            for label, kind in zip(self.labels, self.kinds)
+            if kind != "any"
+        )
 
     def __repr__(self) -> str:
         return f"<Predicate {self.name}>"

@@ -46,6 +46,51 @@ Assignment = Mapping[str, Value]
 #: the skipped evaluation in :attr:`SolverStats.evals_pruned`.
 PARTIAL_VACUOUS = object()
 
+#: The value-kind lattice consulted by :meth:`Constraint.label_kinds`
+#: and the lint pass's domain analysis (ICSL003): child -> parent.
+#: ``any`` is the top; ``block`` and ``value`` are disjoint below it
+#: (a basic block is never an SSA value candidate and vice versa), so
+#: a label required to be both is unsatisfiable.
+KIND_PARENT: dict[str, str] = {
+    "block": "any",
+    "value": "any",
+    "instruction": "value",
+    "constlike": "value",
+    "phi": "instruction",
+    "load": "instruction",
+    "store": "instruction",
+    "cmp": "instruction",
+}
+
+
+def _kind_ancestry(kind: str) -> tuple[str, ...]:
+    chain = [kind]
+    while chain[-1] != "any":
+        chain.append(KIND_PARENT[chain[-1]])
+    return tuple(chain)
+
+
+def kind_meet(a: str, b: str) -> str | None:
+    """Greatest lower bound of two kinds, or None when incompatible
+    (the lattice is a tree, so the meet is whichever is the deeper of
+    an ancestor/descendant pair)."""
+    if a == b:
+        return a
+    if b in _kind_ancestry(a):
+        return a
+    if a in _kind_ancestry(b):
+        return b
+    return None
+
+
+def kind_join(a: str, b: str) -> str:
+    """Least upper bound of two kinds (lowest common ancestor)."""
+    ancestry = _kind_ancestry(a)
+    for candidate in _kind_ancestry(b):
+        if candidate in ancestry:
+            return candidate
+    return "any"
+
 
 class SolverContext:
     """A function plus cached analyses — the ``FunctionWrapper`` of Fig. 7.
@@ -285,6 +330,33 @@ class Constraint:
         one passed."""
         return ()
 
+    # -- static analysis (the lint pass) --------------------------------------
+
+    def label_kinds(self) -> tuple[tuple[str, str], ...]:
+        """``(label, kind)`` requirements this constraint imposes.
+
+        Kinds name positions in the lint pass's value-kind lattice
+        (``repro.constraints.analysis.KIND_PARENT``): ``block``,
+        ``value``, ``instruction``, ``constlike``, ``phi``, ``load``,
+        ``store``, ``cmp`` — or ``any`` for no requirement.  A label may
+        appear more than once; the analyzer meets all requirements and
+        reports a conflict (ICSL003) when the meet is empty.  The
+        default imposes nothing.
+        """
+        return ()
+
+    def proposable_labels(self, bound: frozenset) -> frozenset:
+        """Own labels :meth:`propose` is *guaranteed* to enumerate
+        (return non-None) for, given exactly ``bound`` already bound.
+
+        This is the static mirror of :meth:`propose` consumed by the
+        lint pass's use-before-bind analysis (ICSL002): a depth whose
+        label no conjunct guarantees to propose falls back to the full
+        value universe at runtime.  Must underapproximate — never name
+        a label ``propose`` could answer None for.
+        """
+        return frozenset()
+
     # -- composition sugar ----------------------------------------------------
 
     def __and__(self, other: "Constraint") -> "Constraint":
@@ -308,7 +380,9 @@ class IdiomSpec:
     """
 
     def __init__(self, name: str, label_order: tuple[str, ...],
-                 constraint: Constraint, base: "IdiomSpec | None" = None):
+                 constraint: Constraint, base: "IdiomSpec | None" = None,
+                 origin: tuple | None = None,
+                 lint_ignores: "Mapping[str, tuple] | Iterable[str]" = ()):
         self.name = name
         self.label_order = tuple(label_order)
         self.constraint = constraint
@@ -317,6 +391,15 @@ class IdiomSpec:
             raise ValueError(
                 f"spec {name!r}: labels {sorted(missing)} missing from order"
             )
+        #: ``(path, line)`` of the defining ``idiom`` header, or None
+        #: for specs built in Python (spans for lint diagnostics).
+        self.origin = origin
+        #: Spec-level lint suppressions: ``code -> (path, line)`` of the
+        #: ``# lint: ignore[...]`` comment (None span for API specs).
+        if isinstance(lint_ignores, Mapping):
+            self.lint_ignores = dict(lint_ignores)
+        else:
+            self.lint_ignores = {code: None for code in lint_ignores}
         #: The spec named by ``extends`` in ICSL, regardless of whether
         #: the current enumeration order still permits prefix replay.
         #: The plan engine consults this for *partial*-prefix reuse
@@ -361,7 +444,20 @@ class IdiomSpec:
         partial-prefix trie.
         """
         return IdiomSpec(self.name, label_order, self.constraint,
-                         base=self.declared_base)
+                         base=self.declared_base, origin=self.origin,
+                         lint_ignores=self.lint_ignores)
+
+
+def top_level_conjuncts(constraint: Constraint) -> list[Constraint]:
+    """The spec's top-level conjunct list — its root And's children, or
+    the root itself.  One definition shared by the interpreted engine,
+    the plan compiler, the ICSL ``extends`` loader and the lint pass, so
+    "conjunct index i" means the same thing everywhere."""
+    from .logical import ConstraintAnd
+
+    if isinstance(constraint, ConstraintAnd):
+        return list(constraint.children)
+    return [constraint]
 
 
 def constraint_labels(constraint: Constraint) -> set[str]:

@@ -305,6 +305,15 @@ class ComputedOnlyFrom(Constraint):
         self.header_label = header
         self.policy_factory = policy_factory
 
+    def label_kinds(self):
+        pairs = [(self.output_label, "value"), (self.header_label, "block")]
+        pairs.extend(
+            (label, "value")
+            for label in self.labels
+            if label != self.output_label and label != self.header_label
+        )
+        return tuple(pairs)
+
     def check(self, ctx: SolverContext, assignment: Assignment) -> bool:
         # The verdict is a pure function of the context's (immutable)
         # analyses and this constraint's bound label values, and the

@@ -134,6 +134,20 @@ class ConstraintAnd(Constraint):
             return None
         return intersect_proposals(proposals)
 
+    def label_kinds(self):
+        pairs: list[tuple[str, str]] = []
+        for child in self.children:
+            pairs.extend(child.label_kinds())
+        return tuple(pairs)
+
+    def proposable_labels(self, bound):
+        # Any one child's guaranteed proposal suffices — propose()
+        # collects from every child mentioning the label.
+        proposable: set[str] = set()
+        for child in self.children:
+            proposable |= child.proposable_labels(bound)
+        return frozenset(proposable)
+
 
 class ConstraintOr(Constraint):
     """Disjunction.
@@ -197,3 +211,41 @@ class ConstraintOr(Constraint):
                     seen.add(id(value))
                     union.append(value)
         return union
+
+    def label_kinds(self):
+        # A disjunction only pins a label to the *join* of what its
+        # children require — and a child not mentioning the label
+        # leaves it unconstrained whenever that disjunct is the one
+        # satisfied, widening the join to "any".
+        from .core import constraint_labels, kind_join, kind_meet
+
+        pairs: list[tuple[str, str]] = []
+        for label in self.labels:
+            joined: str | None = None
+            for child in self.children:
+                required = "any"
+                if label in constraint_labels(child):
+                    met: str | None = "any"
+                    for own, kind in child.label_kinds():
+                        if own == label and met is not None:
+                            met = kind_meet(met, kind)
+                    if met is None:
+                        continue  # unsatisfiable disjunct: no vote
+                    required = met
+                joined = (
+                    required if joined is None
+                    else kind_join(joined, required)
+                )
+            if joined is not None and joined != "any":
+                pairs.append((label, joined))
+        return tuple(pairs)
+
+    def proposable_labels(self, bound):
+        # propose() abstains the moment any live child abstains, and a
+        # child can only be ruled out dynamically — so a guaranteed
+        # proposal needs *every* child to guarantee one.
+        proposable: frozenset | None = None
+        for child in self.children:
+            own = child.proposable_labels(bound)
+            proposable = own if proposable is None else proposable & own
+        return proposable or frozenset()

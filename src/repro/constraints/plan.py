@@ -63,7 +63,7 @@ from typing import Iterator, Mapping
 
 from ..ir.values import Value
 from .core import PARTIAL_VACUOUS, IdiomSpec, SolverContext
-from .logical import ConstraintAnd, intersect_proposals
+from .logical import intersect_proposals
 
 if os.environ.get("REPRO_NO_NUMPY"):  # CI fallback leg / forced-off switch
     _np = None
@@ -207,15 +207,63 @@ class PlanStep:
         self.dep_slots = tuple(deps)
 
 
-def _compile_slice(entries, slot_of, bound_of, *, known_keys=None,
-                   batch_label=None, implied=None):
+class PruneDecision:
+    """One conjunct the plan compiler dropped from a schedule slice.
+
+    The typed record behind every ``SolverStats.evals_pruned`` unit:
+    rather than dropping checks silently, :func:`_compile_slice` logs
+    *which* conjunct was pruned *where* and *why*, and the lint pass
+    (:mod:`repro.constraints.analysis`) surfaces the records as
+    position-exact diagnostics.  ``len(plan.pruning_decisions) ==
+    plan.conjuncts_pruned`` by construction.
+
+    ``reason`` is one of
+
+    * ``"vacuous"`` — the partial verdict is constant-true for the
+      slice's bound set (the ``c_k`` construction's padding);
+    * ``"duplicate"`` — an earlier conjunct with the *same* structural
+      key already ran (``established_by``);
+    * ``"implied-conjunct"`` — an earlier conjunct *implies* this one
+      (``established_by``; e.g. ``sese`` ⇒ its dominance legs);
+    * ``"implied-proposal"`` — the depth's candidates come from this
+      conjunct's own proposals, which pre-satisfy its check.
+
+    ``where`` names the slice kind (``"depth"``, ``"replay"`` or
+    ``"partial"``), ``depth`` the bound-prefix length there, ``index``
+    the conjunct's position in ``CompiledSpec.conjuncts``.
+    """
+
+    __slots__ = ("reason", "where", "depth", "index", "conjunct",
+                 "established_by")
+
+    def __init__(self, reason, where, depth, index, conjunct,
+                 established_by=None):
+        self.reason = reason
+        self.where = where
+        self.depth = depth
+        self.index = index
+        self.conjunct = conjunct
+        self.established_by = established_by
+
+    def __repr__(self):  # pragma: no cover - debug aid
+        return (
+            f"<PruneDecision {self.reason} conjunct={self.index}"
+            f" {self.where}@{self.depth}>"
+        )
+
+
+def _compile_slice(entries, slot_of, bound_of, *, where, depth,
+                   known_keys=None, batch_label=None, implied=None):
     """Lower one ordered conjunct slice into kept checks.
 
-    ``entries`` yields ``(conjunct, labelset)`` in schedule order;
-    ``bound_of(labelset)`` names the exact bound label subset at this
-    point.  Returns ``(checks, tail_pruned, pruned_count, batch)``.
-    ``known_keys`` seeds the redundancy pass with structural keys
-    already established to hold (the base conjuncts of a replay).
+    ``entries`` yields ``(index, conjunct, labelset)`` in schedule
+    order; ``bound_of(labelset)`` names the exact bound label subset at
+    this point.  Returns ``(checks, tail_pruned, decisions, batch)``
+    where ``decisions`` is the list of :class:`PruneDecision` records
+    (one per dropped conjunct, so ``len(decisions)`` is the slice's
+    pruned count).  ``known_keys`` seeds the redundancy pass with
+    structural keys already established to hold, mapped to the
+    establishing conjunct (the base conjuncts of a replay).
     ``implied`` holds ids of conjuncts whose verdict at this depth is
     implied by their own proposals (see
     :meth:`Constraint.propose_implies_partial`) — dropped like
@@ -223,27 +271,41 @@ def _compile_slice(entries, slot_of, bound_of, *, known_keys=None,
     """
     checks = []
     pending = 0
-    pruned = 0
-    established = set(known_keys) if known_keys else set()
+    decisions: list[PruneDecision] = []
+    established: dict = dict(known_keys) if known_keys else {}
     batch = None
-    for conjunct, labelset in entries:
+    for index, conjunct, labelset in entries:
         bound = bound_of(labelset)
         lowered = conjunct.compile_partial(frozenset(bound), slot_of)
         if lowered is PARTIAL_VACUOUS:
             pending += 1
-            pruned += 1
+            decisions.append(
+                PruneDecision("vacuous", where, depth, index, conjunct)
+            )
             continue
         key = conjunct.structural_key() if labelset <= bound else None
         if key is not None and key in established:
             pending += 1
-            pruned += 1
+            by = established[key]
+            reason = (
+                "duplicate" if by.structural_key() == key
+                else "implied-conjunct"
+            )
+            decisions.append(
+                PruneDecision(reason, where, depth, index, conjunct,
+                              established_by=by)
+            )
             continue
         if implied is not None and id(conjunct) in implied:
             pending += 1
-            pruned += 1
+            decisions.append(
+                PruneDecision("implied-proposal", where, depth, index,
+                              conjunct)
+            )
             if key is not None:
-                established.add(key)
-                established.update(conjunct.implied_structural_keys())
+                established.setdefault(key, conjunct)
+                for implied_key in conjunct.implied_structural_keys():
+                    established.setdefault(implied_key, conjunct)
             continue
         if lowered is None:
             lowered = _generic_partial(conjunct)
@@ -254,9 +316,10 @@ def _compile_slice(entries, slot_of, bound_of, *, known_keys=None,
         checks.append((lowered, pending))
         pending = 0
         if key is not None:
-            established.add(key)
-            established.update(conjunct.implied_structural_keys())
-    return tuple(checks), pending, pruned, batch
+            established.setdefault(key, conjunct)
+            for implied_key in conjunct.implied_structural_keys():
+                established.setdefault(implied_key, conjunct)
+    return tuple(checks), pending, decisions, batch
 
 
 class FlatPlan:
@@ -280,6 +343,10 @@ class FlatPlan:
         #: all depths (and replay slices) — a static property of the
         #: plan, charged once per search to ``SolverStats``.
         self.conjuncts_pruned = 0
+        #: The typed record of every eliminated slot (one
+        #: :class:`PruneDecision` per ``conjuncts_pruned`` unit), in
+        #: compile order — consumed by the lint pass.
+        self.pruning_decisions: list[PruneDecision] = []
         self.steps: list[PlanStep] = []
         for k, label in enumerate(order):
             bound_after = set(order[: k + 1])
@@ -293,14 +360,20 @@ class FlatPlan:
                 for i in compiled.proposers.get(label, ())
                 if conjuncts[i].propose_implies_partial(bound_before, label)
             }
-            checks, tail, pruned, batch = _compile_slice(
-                ((conjuncts[i], labelsets[i]) for i in compiled.schedule[k]),
+            checks, tail, decisions, batch = _compile_slice(
+                (
+                    (i, conjuncts[i], labelsets[i])
+                    for i in compiled.schedule[k]
+                ),
                 self.slot_of,
                 lambda labelset, _b=bound_after: labelset & _b,
+                where="depth",
+                depth=k,
                 batch_label=label,
                 implied=implied or None,
             )
-            self.conjuncts_pruned += pruned
+            self.conjuncts_pruned += len(decisions)
+            self.pruning_decisions.extend(decisions)
             proposers = []
             for i in compiled.proposers.get(label, ()):
                 key_pairs = tuple(
@@ -335,16 +408,19 @@ class FlatPlan:
         if self.prefix_len:
             prefix_set = set(order[: self.prefix_len])
             base_keys = self._base_established_keys(spec.base, prefix_set)
-            checks, tail, pruned, _ = _compile_slice(
+            checks, tail, decisions, _ = _compile_slice(
                 (
-                    (conjuncts[i], labelsets[i])
+                    (i, conjuncts[i], labelsets[i])
                     for i in compiled.replay_indices
                 ),
                 self.slot_of,
                 lambda labelset, _p=prefix_set: labelset & _p,
+                where="replay",
+                depth=self.prefix_len,
                 known_keys=base_keys,
             )
-            self.conjuncts_pruned += pruned
+            self.conjuncts_pruned += len(decisions)
+            self.pruning_decisions.extend(decisions)
             self.replay_chain = CheckChain(checks, tail)
 
         # -- partial-prefix trie replay -----------------------------------
@@ -364,24 +440,20 @@ class FlatPlan:
 
     @staticmethod
     def _base_established_keys(base, prefix_set):
-        """Structural keys known to hold on every replayed base tuple:
+        """Structural keys known to hold on every replayed base tuple —
         the keys (and implications) of base conjuncts fully bound
-        within the prefix."""
-        from .core import constraint_labels
+        within the prefix — mapped to the establishing conjunct (for
+        the pruning record's provenance)."""
+        from .core import constraint_labels, top_level_conjuncts
 
-        root = base.constraint
-        base_conjuncts = (
-            list(root.children)
-            if isinstance(root, ConstraintAnd)
-            else [root]
-        )
-        keys: set = set()
-        for conjunct in base_conjuncts:
+        keys: dict = {}
+        for conjunct in top_level_conjuncts(base.constraint):
             if set(constraint_labels(conjunct)) <= prefix_set:
                 key = conjunct.structural_key()
                 if key is not None:
-                    keys.add(key)
-                    keys.update(conjunct.implied_structural_keys())
+                    keys.setdefault(key, conjunct)
+                    for implied_key in conjunct.implied_structural_keys():
+                        keys.setdefault(implied_key, conjunct)
         return keys
 
     def _compile_partial_prefix(self, compiled, conjuncts, labelsets):
@@ -401,12 +473,9 @@ class FlatPlan:
         depth = spec.shared_prefix_len()
         if depth == 0:
             return
-        root = base.constraint
-        base_conjuncts = (
-            list(root.children)
-            if isinstance(root, ConstraintAnd)
-            else [root]
-        )
+        from .core import top_level_conjuncts
+
+        base_conjuncts = top_level_conjuncts(base.constraint)
         own_ids = {id(c) for c in conjuncts}
         if any(id(c) not in own_ids for c in base_conjuncts):
             return  # conjuncts were rebuilt, not shared: cannot replay
@@ -414,18 +483,21 @@ class FlatPlan:
         prefix_set = set(self.order[:depth])
         base_keys = self._base_established_keys(base, prefix_set)
         replay = [
-            (conjuncts[i], labelsets[i])
+            (i, conjuncts[i], labelsets[i])
             for i in range(len(conjuncts))
             if id(conjuncts[i]) not in base_ids
             and (labelsets[i] & prefix_set)
         ]
-        checks, tail, pruned, _ = _compile_slice(
+        checks, tail, decisions, _ = _compile_slice(
             replay,
             self.slot_of,
             lambda labelset, _p=prefix_set: labelset & _p,
+            where="partial",
+            depth=depth,
             known_keys=base_keys,
         )
-        self.conjuncts_pruned += pruned
+        self.conjuncts_pruned += len(decisions)
+        self.pruning_decisions.extend(decisions)
         self.partial_base = base
         self.partial_len = depth
         self.partial_chain = CheckChain(checks, tail)

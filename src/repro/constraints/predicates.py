@@ -48,8 +48,25 @@ def register_predicate_atom(name: str):
     return decorate
 
 
+#: Value-kind requirements each named predicate imposes on its label
+#: positions (see :meth:`Constraint.label_kinds`); consumed by the lint
+#: pass's domain analysis (ICSL003).
+_PREDICATE_KINDS: dict[str, tuple[str, ...]] = {
+    "natural_loop": ("block", "block", "block", "block", "block"),
+    "update_in_loop": ("block", "instruction"),
+    "store_directly_in_loop": ("block", "store"),
+    "load_before_store": ("load", "store"),
+    "ordering_cmp": ("cmp",),
+    "same_join": ("phi", "phi"),
+    "guard_matches_candidate": ("cmp", "value", "value"),
+    "store_in_subloop": ("block", "store"),
+}
+
+
 def _named(name: str, labels: tuple[str, ...], fn) -> Predicate:
-    predicate = Predicate(labels, fn, name=name)
+    predicate = Predicate(
+        labels, fn, name=name, kinds=_PREDICATE_KINDS.get(name)
+    )
     predicate.spec_atom = (name, labels)
     return predicate
 

@@ -52,8 +52,14 @@ import itertools
 from dataclasses import dataclass, field
 
 from ..ir.values import Value
-from .core import Constraint, IdiomSpec, SolverContext, constraint_labels
-from .logical import ConstraintAnd, intersect_proposals
+from .core import (
+    Constraint,
+    IdiomSpec,
+    SolverContext,
+    constraint_labels,
+    top_level_conjuncts,
+)
+from .logical import intersect_proposals
 
 
 @dataclass
@@ -316,11 +322,9 @@ class CompiledSpec:
 
     def __init__(self, spec: IdiomSpec):
         self.spec = spec
-        root = spec.constraint
-        if isinstance(root, ConstraintAnd):
-            self.conjuncts: list[Constraint] = list(root.children)
-        else:
-            self.conjuncts = [root]
+        self.conjuncts: list[Constraint] = top_level_conjuncts(
+            spec.constraint
+        )
         self.labelsets: list[frozenset[str]] = [
             frozenset(constraint_labels(c)) for c in self.conjuncts
         ]
@@ -358,12 +362,7 @@ class CompiledSpec:
         base = self.spec.base
         if base is None:
             return
-        base_root = base.constraint
-        base_conjuncts = (
-            list(base_root.children)
-            if isinstance(base_root, ConstraintAnd)
-            else [base_root]
-        )
+        base_conjuncts = top_level_conjuncts(base.constraint)
         own_ids = {id(c) for c in self.conjuncts}
         if any(id(c) not in own_ids for c in base_conjuncts):
             return  # conjuncts were rebuilt, not shared: cannot replay

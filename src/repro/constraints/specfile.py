@@ -87,7 +87,7 @@ from .atomic import (
     StrictlyDominates,
     StrictlyPostDominates,
 )
-from .core import Constraint, IdiomSpec
+from .core import Constraint, IdiomSpec, top_level_conjuncts
 from .flow import ComputedOnlyFrom, declarative_flow
 from .logical import ConstraintAnd, ConstraintOr
 from .predicates import PREDICATE_ATOMS
@@ -96,13 +96,40 @@ from .predicates import PREDICATE_ATOMS
 class SpecFileError(Exception):
     """Raised on malformed specification files.
 
-    ``line`` carries the 1-based source line the error was detected on
-    (None when the error is not tied to a specific line).
+    ``line`` and ``column`` carry the 1-based source position the error
+    was detected at (None when the error is not tied to one); ``path``
+    names the file and ``source_line`` holds the offending source text,
+    when known.  :meth:`render` formats the whole thing as a
+    compiler-style diagnostic with a caret.
     """
 
-    def __init__(self, message: str, line: int | None = None):
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None, path: str | None = None,
+                 source_line: str | None = None):
         super().__init__(message)
         self.line = line
+        self.column = column
+        self.path = path
+        self.source_line = source_line
+
+    def render(self) -> str:
+        """``path:line:col: error: message`` plus a caret excerpt."""
+        where = self.path if self.path else "<spec>"
+        if self.line is not None:
+            where += f":{self.line}"
+            if self.column is not None:
+                where += f":{self.column}"
+        message = str(self)
+        prefix = f"line {self.line}: "
+        if self.line is not None and message.startswith(prefix):
+            message = message[len(prefix):]
+        out = [f"{where}: error: {message}"]
+        if self.source_line is not None and self.source_line.strip():
+            text = self.source_line.rstrip()
+            out.append(f"  {text}")
+            caret = min((self.column or 1) - 1, len(text))
+            out.append("  " + " " * caret + "^")
+        return "\n".join(out)
 
 
 #: The spec files shipped inside the package, in dependency order:
@@ -145,8 +172,9 @@ _FLOW_FLAGS = frozenset({"affine", "noloads"})
 _FLOW_KEYWORDS = frozenset({"sources", "rejected", "forbidden", "index"})
 
 
-def _tokenize(line: str) -> list[str]:
-    tokens: list[str] = []
+def _tokenize(line: str) -> list[tuple[str, int]]:
+    """``(token, 1-based column)`` pairs for one statement line."""
+    tokens: list[tuple[str, int]] = []
     pos = 0
     while pos < len(line):
         if line[pos].isspace():
@@ -154,42 +182,67 @@ def _tokenize(line: str) -> list[str]:
             continue
         match = _TOKEN_RE.match(line, pos)
         if match is None:
-            raise SpecFileError(f"bad character {line[pos]!r} in {line!r}")
-        tokens.append(match.group(0))
+            raise SpecFileError(
+                f"bad character {line[pos]!r} in {line.strip()!r}",
+                column=pos + 1,
+            )
+        tokens.append((match.group(0), pos + 1))
         pos = match.end()
     return tokens
 
 
 class _StatementParser:
-    """Recursive-descent parser for one constraint statement line."""
+    """Recursive-descent parser for one constraint statement line.
 
-    def __init__(self, line: str):
-        self.line = line
+    ``line`` is the raw (indentation-preserving) statement source, so
+    token columns match the file; ``display`` is the stripped form used
+    in error messages.
+    """
+
+    def __init__(self, line: str, display: str | None = None):
+        self.line = display if display is not None else line.strip()
         self.tokens = _tokenize(line)
         self.pos = 0
 
+    def _column(self) -> int:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos][1]
+        if self.tokens:
+            token, column = self.tokens[-1]
+            return column + len(token)
+        return 1
+
     def peek(self) -> str | None:
-        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos][0]
+        return None
 
     def next(self) -> str:
         token = self.peek()
         if token is None:
-            raise SpecFileError(f"unexpected end of statement: {self.line!r}")
+            raise SpecFileError(
+                f"unexpected end of statement: {self.line!r}",
+                column=self._column(),
+            )
         self.pos += 1
         return token
 
     def expect(self, token: str) -> None:
+        column = self._column()
         got = self.next()
         if got != token:
             raise SpecFileError(
-                f"expected {token!r} but found {got!r} in {self.line!r}"
+                f"expected {token!r} but found {got!r} in {self.line!r}",
+                column=column,
             )
 
     def expect_ident(self) -> str:
+        column = self._column()
         token = self.next()
         if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
             raise SpecFileError(
-                f"expected a name but found {token!r} in {self.line!r}"
+                f"expected a name but found {token!r} in {self.line!r}",
+                column=column,
             )
         return token
 
@@ -198,7 +251,8 @@ class _StatementParser:
         constraint = self._or_expr()
         if self.peek() is not None:
             raise SpecFileError(
-                f"trailing {self.peek()!r} in statement {self.line!r}"
+                f"trailing {self.peek()!r} in statement {self.line!r}",
+                column=self._column(),
             )
         return constraint
 
@@ -229,6 +283,7 @@ class _StatementParser:
         return self._atom()
 
     def _atom(self) -> Constraint:
+        column = self._column()
         name = self.expect_ident()
         self.expect("(")
         positional: list[str] = []
@@ -253,7 +308,12 @@ class _StatementParser:
         flags: set[str] = set()
         while self.peek() in _ATOM_FLAGS:
             flags.add(self.next())
-        return _build_atom(name, positional, keywords, flags)
+        try:
+            return _build_atom(name, positional, keywords, flags)
+        except SpecFileError as exc:
+            if exc.column is None:
+                exc.column = column
+            raise
 
 
 # -- atom construction --------------------------------------------------------
@@ -344,8 +404,8 @@ def _build_atom(
         ) from None
 
 
-def _parse_statement(line: str) -> Constraint:
-    return _StatementParser(line).parse()
+def _parse_statement(line: str, display: str | None = None) -> Constraint:
+    return _StatementParser(line, display=display).parse()
 
 
 # -- file-level parser --------------------------------------------------------
@@ -380,22 +440,46 @@ def _resolve_base(
 
 
 def _base_conjuncts(base: IdiomSpec) -> list[Constraint]:
-    root = base.constraint
-    if isinstance(root, ConstraintAnd):
-        return list(root.children)
-    return [root]
+    return top_level_conjuncts(base.constraint)
+
+
+#: ``# lint: ignore[ICSL001, ICSL002]`` — a lint suppression inside the
+#: comment part of a line.  On a statement line it suppresses the named
+#: diagnostics for that conjunct; on the header, order, or a standalone
+#: comment line inside a block it suppresses them for the whole spec.
+_LINT_IGNORE_RE = re.compile(
+    r"(?:#|;)\s*lint:\s*ignore\[(?P<codes>[A-Za-z0-9_\s,]*)\]"
+)
+
+
+def _line_ignores(comment: str) -> tuple[str, ...]:
+    match = _LINT_IGNORE_RE.search(comment)
+    if match is None:
+        return ()
+    return tuple(
+        code.strip()
+        for code in match.group("codes").split(",")
+        if code.strip()
+    )
 
 
 def parse_spec_text(
     text: str,
     known: dict[str, IdiomSpec] | None = None,
     _loading: frozenset[str] = frozenset(),
+    path: str | None = None,
 ) -> dict[str, IdiomSpec]:
     """Parse specification source into named idiom specs.
 
     ``known`` supplies previously loaded idioms that ``extends`` clauses
     may reference (built-in idioms resolve automatically).  Errors carry
-    the offending 1-based source line in :attr:`SpecFileError.line`.
+    the offending 1-based source position in :attr:`SpecFileError.line`
+    / :attr:`SpecFileError.column` (plus ``path`` and the source line
+    when known, so :meth:`SpecFileError.render` can show a caret).
+
+    Each parsed conjunct is stamped with ``spec_span`` — ``(path, line,
+    column)`` of its statement — and any ``# lint: ignore[...]``
+    suppressions, consumed by :mod:`repro.constraints.analysis`.
     """
     known = known or {}
     specs: dict[str, IdiomSpec] = {}
@@ -404,23 +488,39 @@ def parse_spec_text(
     order: tuple[str, ...] | None = None
     constraints: list[Constraint] = []
     current_base: IdiomSpec | None = None
+    block_ignores: dict[str, tuple] = {}
+    order_span: tuple | None = None
 
-    def error(lineno: int, message: str) -> None:
-        raise SpecFileError(f"line {lineno}: {message}", line=lineno)
+    def error(lineno: int, message: str, column: int | None = None,
+              source: str | None = None) -> None:
+        raise SpecFileError(
+            f"line {lineno}: {message}", line=lineno, column=column,
+            path=path, source_line=source,
+        )
 
     for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#")[0].split(";")[0].strip()
+        code = raw.split("#")[0].split(";")[0]
+        line = code.strip()
+        ignores = _line_ignores(raw[len(code):])
         if not line:
+            if ignores and current_name is not None:
+                for ignore in ignores:
+                    block_ignores.setdefault(ignore, (path, lineno))
             continue
         header = _IDIOM_HEADER_RE.match(line)
         if header:
             if current_name is not None:
-                error(lineno, "nested idiom blocks are not allowed")
+                error(lineno, "nested idiom blocks are not allowed",
+                      source=raw)
             current_name = header.group("name")
             block_start = lineno
             order = None
+            order_span = None
             constraints = []
             current_base = None
+            block_ignores = {
+                ignore: (path, lineno) for ignore in ignores
+            }
             base_name = header.group("base")
             if base_name is not None:
                 try:
@@ -430,41 +530,53 @@ def parse_spec_text(
                     constraints.extend(_base_conjuncts(current_base))
                 except SpecFileError as exc:
                     if exc.line is None:
-                        error(lineno, str(exc))
+                        error(lineno, str(exc), source=raw)
                     raise
             continue
         if line == "}":
             if current_name is None:
-                error(lineno, "unmatched '}'")
+                error(lineno, "unmatched '}'", source=raw)
             if order is None:
-                error(lineno, f"idiom {current_name!r} has no order: line")
+                error(lineno, f"idiom {current_name!r} has no order: line",
+                      source=raw)
             if not constraints:
-                error(lineno, f"idiom {current_name!r} has no constraints")
+                error(lineno, f"idiom {current_name!r} has no constraints",
+                      source=raw)
             try:
                 specs[current_name] = IdiomSpec(
                     current_name, order, ConstraintAnd(*constraints),
-                    base=current_base,
+                    base=current_base, origin=(path, block_start),
+                    lint_ignores=block_ignores,
                 )
+                specs[current_name].order_span = order_span
             except ValueError as exc:
-                error(lineno, str(exc))
+                error(lineno, str(exc), source=raw)
             current_name = None
             continue
         if current_name is None:
-            error(lineno, f"statement outside idiom block: {line!r}")
+            error(lineno, f"statement outside idiom block: {line!r}",
+                  source=raw)
         if line.startswith("order:"):
             order = tuple(line[len("order:"):].split())
+            order_span = (path, lineno, len(code) - len(code.lstrip()) + 1)
+            for ignore in ignores:
+                block_ignores.setdefault(ignore, (path, lineno))
             continue
         try:
-            constraints.append(_parse_statement(line))
+            conjunct = _parse_statement(code, display=line)
         except SpecFileError as exc:
             if exc.line is None:
-                error(lineno, str(exc))
+                error(lineno, str(exc), column=exc.column, source=raw)
             raise
+        conjunct.spec_span = (path, lineno, len(code) - len(code.lstrip()) + 1)
+        if ignores:
+            conjunct.lint_ignores = frozenset(ignores)
+        constraints.append(conjunct)
 
     if current_name is not None:
         raise SpecFileError(
             f"line {block_start}: unterminated idiom {current_name!r}",
-            line=block_start,
+            line=block_start, path=path,
         )
     return specs
 
@@ -476,7 +588,9 @@ def load_spec_file(
 ) -> dict[str, IdiomSpec]:
     """Load idiom specifications from a file."""
     with open(path) as handle:
-        return parse_spec_text(handle.read(), known=known, _loading=_loading)
+        return parse_spec_text(
+            handle.read(), known=known, _loading=_loading, path=path
+        )
 
 
 # -- rendering (the parse inverse) --------------------------------------------
@@ -553,12 +667,15 @@ def render_spec_text(specs: dict[str, IdiomSpec]) -> str:
     for name, spec in specs.items():
         lines = [f"idiom {name} {{"]
         lines.append(f"  order: {' '.join(spec.label_order)}")
-        root = spec.constraint
-        conjuncts = (
-            list(root.children) if isinstance(root, ConstraintAnd) else [root]
-        )
-        for conjunct in conjuncts:
-            lines.append(f"  {_render_constraint(conjunct)}")
+        spec_ignores = sorted(getattr(spec, "lint_ignores", ()))
+        if spec_ignores:
+            lines.append(f"  # lint: ignore[{', '.join(spec_ignores)}]")
+        for conjunct in top_level_conjuncts(spec.constraint):
+            rendered = _render_constraint(conjunct)
+            ignores = sorted(getattr(conjunct, "lint_ignores", ()))
+            if ignores:
+                rendered += f"  # lint: ignore[{', '.join(ignores)}]"
+            lines.append(f"  {rendered}")
         lines.append("}")
         blocks.append("\n".join(lines))
     return "\n\n".join(blocks) + "\n"

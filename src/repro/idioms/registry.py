@@ -103,7 +103,13 @@ def _native_spec(name: str) -> IdiomSpec:
 class IdiomRegistry:
     """Loads and serves idiom specifications by name."""
 
-    def __init__(self, builtins: bool = True):
+    def __init__(self, builtins: bool = True, lint: bool = False):
+        #: Opt-in lint gate: when set, :meth:`register` runs the static
+        #: analyzer (:mod:`repro.constraints.analysis`) over every spec
+        #: and rejects those with unsuppressed *errors* — warnings and
+        #: notes never gate a load, so the gate cannot change which
+        #: specs a clean registry serves.
+        self.lint = lint
         self._idioms: dict[str, RegisteredIdiom] = {}
         if builtins:
             self._load_builtins()
@@ -139,6 +145,18 @@ class IdiomRegistry:
                 f"idiom {spec.name!r} replaces a built-in but does not "
                 f"bind required label(s) {sorted(missing)}"
             )
+        if self.lint:
+            from ..constraints.analysis import analyze_spec
+
+            errors = [
+                diag for diag in analyze_spec(spec)
+                if diag.severity == "error"
+            ]
+            if errors:
+                raise SpecFileError(
+                    f"idiom {spec.name!r} rejected by the lint gate:\n"
+                    + "\n".join(diag.render() for diag in errors)
+                )
         entry = RegisteredIdiom(spec.name, spec, kind, source)
         self._idioms[spec.name] = entry
         return entry
@@ -215,7 +233,8 @@ class IdiomRegistry:
             if new_order == spec.label_order and base is spec.base:
                 continue
             new_spec = IdiomSpec(spec.name, new_order, spec.constraint,
-                                 base=base)
+                                 base=base, origin=spec.origin,
+                                 lint_ignores=spec.lint_ignores)
             rebuilt[spec.name] = new_spec
             changed.append(self.register(new_spec, source=entry.source))
         return changed

@@ -1,0 +1,455 @@
+"""Tests for the static analyzer (``repro.constraints.analysis``).
+
+The seeded mutation suite corrupts the shipped specs one class at a
+time and asserts each mutation is flagged with its expected ``ICSL0xx``
+code; the property tests assert the analyzer never crashes and is
+byte-deterministic on generated specs; the reconciliation tests pin
+the pruning diagnostics to the plan compiler's own counters.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    IdiomSpec,
+    Opcode,
+    SpecFileError,
+    analyze_registry,
+    analyze_spec,
+    cross_spec_diagnostics,
+    lint_spec_files,
+)
+from repro.constraints.analysis import (
+    DIAGNOSTIC_CODES,
+    exit_code,
+    render_report,
+    report_json,
+    severity_counts,
+)
+from repro.constraints.plan import compile_plan
+from repro.constraints.specfile import (
+    BUILTIN_SPEC_FILES,
+    builtin_spec_path,
+    load_spec_file,
+    parse_spec_text,
+    render_spec_text,
+)
+from repro.idioms.registry import IdiomRegistry
+
+
+def _builtin_paths():
+    return [builtin_spec_path(name) for name in BUILTIN_SPEC_FILES]
+
+
+def _spec_text(name):
+    with open(builtin_spec_path(name)) as handle:
+        return handle.read()
+
+
+def _codes(diags, gating_only=True):
+    return sorted({
+        d.code for d in diags
+        if not gating_only or d.severity != "note"
+    })
+
+
+# -- shipped specs are clean --------------------------------------------------
+
+
+def test_shipped_specs_clean_under_strict():
+    """Zero false positives: the six shipped specs produce no errors
+    and no warnings, only engine-pruning notes."""
+    diags, failed = lint_spec_files(_builtin_paths())
+    assert not failed
+    counts = severity_counts(diags)
+    assert counts["error"] == 0
+    assert counts["warning"] == 0
+    assert counts["note"] > 0
+    assert exit_code(diags, strict=True, parse_failed=failed) == 0
+
+
+def test_registry_cross_analysis_clean():
+    """No shipped idiom pair is reported as subsuming another."""
+    diags = analyze_registry(IdiomRegistry())
+    assert _codes(diags) == []
+    assert all(d.code == "ICSL009" for d in diags)
+
+
+# -- the seeded mutation suite ------------------------------------------------
+
+
+def test_mutation_dropped_conjunct_flags_unconstrained_label():
+    """Dropping the only conjunct mentioning ``pos_candidate`` leaves
+    the label silently over-matching — ICSL001."""
+    text = _spec_text("argminmax")
+    assert "phi2(pos_update, pos, pos_candidate)" in text
+    mutated = "\n".join(
+        line for line in text.splitlines()
+        if "phi2(pos_update" not in line
+    )
+    spec = parse_spec_text(mutated, path="mut.icsl")["argminmax"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL001"]
+    assert hits, _codes(diags)
+    assert any("pos_candidate" in d.message for d in hits)
+    assert all(d.severity == "error" for d in hits)
+
+
+def test_mutation_renamed_order_label_is_a_parse_error():
+    """Renaming a label only on the order line makes the block fail to
+    load — surfaced as ICSL000 with the file position."""
+    mutated = _spec_text("for-loop").replace("order: header",
+                                             "order: headerx")
+    with pytest.raises(SpecFileError):
+        parse_spec_text(mutated, path="mut.icsl")
+    # Through the file driver the same mutation becomes ICSL000.
+    import os
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "mut.icsl")
+        with open(path, "w") as handle:
+            handle.write(mutated)
+        diags, failed = lint_spec_files([path])
+    assert failed
+    assert [d.code for d in diags] == ["ICSL000"]
+    assert diags[0].severity == "error"
+    assert diags[0].path == path
+
+
+def test_mutation_swapped_atom_arguments_flag_kind_conflict():
+    """Swapping ``inblock(iterator, header)`` makes ``header`` both a
+    block and an instruction — ICSL003."""
+    mutated = _spec_text("for-loop").replace(
+        "inblock(iterator, header)", "inblock(header, iterator)"
+    )
+    spec = parse_spec_text(mutated, path="mut.icsl")["for-loop"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL003"]
+    assert hits, _codes(diags)
+    assert all(d.severity == "error" for d in hits)
+    assert any("'header'" in d.message for d in hits)
+    # Spans anchor at the mutated statement line.
+    lines = mutated.splitlines()
+    assert any(
+        d.line is not None and "inblock(header" in lines[d.line - 1]
+        for d in hits
+    )
+
+
+def test_mutation_broken_extends_prefix_flagged():
+    """Moving ``acc`` to the front of scalar-reduction's order breaks
+    the for-loop prefix — ICSL008."""
+    text = _spec_text("scalar-reduction")
+    order_line = next(
+        line for line in text.splitlines() if "order:" in line
+    )
+    labels = order_line.split(":", 1)[1].split()
+    mutated_order = "  order: " + " ".join(labels[-1:] + labels[:-1])
+    mutated = text.replace(order_line, mutated_order)
+    spec = parse_spec_text(mutated, path="mut.icsl")["scalar-reduction"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL008"]
+    assert hits, _codes(diags)
+    assert "for-loop" in hits[0].message
+    assert spec.base is None and spec.declared_base is not None
+
+
+def test_mutation_duplicated_conjunct_flagged():
+    text = _spec_text("for-loop").replace(
+        "sese(body, latch)", "sese(body, latch)\n  sese(body, latch)"
+    )
+    spec = parse_spec_text(text, path="mut.icsl")["for-loop"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL006"]
+    assert hits, _codes(diags)
+    assert "sese(body, latch)" in hits[0].message
+
+
+def test_mutation_implied_conjunct_flagged():
+    """``sese(body, latch)`` implies ``dominates(body, latch)``; adding
+    the weaker conjunct after it is flagged ICSL007."""
+    text = _spec_text("for-loop").replace(
+        "sese(body, latch)", "sese(body, latch)\n  dominates(body, latch)"
+    )
+    spec = parse_spec_text(text, path="mut.icsl")["for-loop"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL007"]
+    assert hits, _codes(diags)
+    assert "sese" in hits[0].message
+
+
+def test_mutation_constant_conjuncts_flagged():
+    text = _spec_text("for-loop").replace(
+        "sese(body, latch)",
+        "sese(body, latch)\n  dominates(body, body)\n"
+        "  strictlydominates(latch, latch)",
+    )
+    spec = parse_spec_text(text, path="mut.icsl")["for-loop"]
+    diags = analyze_spec(spec)
+    codes = _codes(diags)
+    assert "ICSL005" in codes  # dominates(body, body): always true
+    assert "ICSL004" in codes  # strictlydominates(latch, latch): never
+
+
+def test_unproposable_label_flagged():
+    """An order that binds an opcode operand before its instruction has
+    no guaranteed proposer at that depth — ICSL002."""
+    spec = IdiomSpec("demo", ("y", "x"), Opcode("x", "add", ("y", None)))
+    diags = analyze_spec(spec, pruning=False)
+    hits = [d for d in diags if d.code == "ICSL002"]
+    assert [d.message for d in hits]
+    assert "'y'" in hits[0].message
+    # The fixed order is clean.
+    good = IdiomSpec("demo2", ("x", "y"), Opcode("x", "add", ("y", None)))
+    assert not [
+        d for d in analyze_spec(good, pruning=False)
+        if d.code == "ICSL002"
+    ]
+
+
+# -- pruning reconciliation ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", list(BUILTIN_SPEC_FILES))
+def test_pruning_diagnostics_reconcile_with_plan(name):
+    """The analyzer's pruning counts equal the plan compiler's own
+    ``conjuncts_pruned`` — diagnostic-for-decision, no drift."""
+    spec = load_spec_file(builtin_spec_path(name))[name]
+    diags = analyze_spec(spec)
+    total = sum(
+        d.count or 0 for d in diags
+        if d.code in ("ICSL006", "ICSL007", "ICSL009")
+    )
+    plan = compile_plan(spec)
+    assert total == plan.conjuncts_pruned == len(plan.pruning_decisions)
+
+
+# -- suppressions -------------------------------------------------------------
+
+_SUPPRESSED = """\
+idiom demo {
+  order: header body
+
+  branch(header, body)
+  dominates(header, header)  # lint: ignore[ICSL005]
+}
+"""
+
+
+def test_conjunct_suppression_and_roundtrip():
+    spec = parse_spec_text(_SUPPRESSED, path="demo.icsl")["demo"]
+    diags = analyze_spec(spec)
+    assert "ICSL005" not in _codes(diags)
+    assert "ICSL012" not in _codes(diags)
+    # The suppression survives render -> parse.
+    rendered = render_spec_text({"demo": spec})
+    assert "lint: ignore[ICSL005]" in rendered
+    reparsed = parse_spec_text(rendered, path="demo2.icsl")["demo"]
+    assert "ICSL005" not in _codes(analyze_spec(reparsed))
+
+
+def test_spec_level_suppression():
+    text = (
+        "idiom demo {  # lint: ignore[ICSL005]\n"
+        "  order: header body\n\n"
+        "  branch(header, body)\n"
+        "  dominates(header, header)\n"
+        "}\n"
+    )
+    spec = parse_spec_text(text, path="demo.icsl")["demo"]
+    diags = analyze_spec(spec)
+    assert "ICSL005" not in _codes(diags)
+    rendered = render_spec_text({"demo": spec})
+    assert "lint: ignore[ICSL005]" in rendered
+
+
+def test_unused_suppression_flagged():
+    text = _SUPPRESSED.replace("ignore[ICSL005]", "ignore[ICSL005, ICSL006]")
+    spec = parse_spec_text(text, path="demo.icsl")["demo"]
+    diags = analyze_spec(spec)
+    hits = [d for d in diags if d.code == "ICSL012"]
+    assert len(hits) == 1
+    assert "ICSL006" in hits[0].message
+
+
+# -- cross-spec subsumption ---------------------------------------------------
+
+
+def test_duplicate_registration_reports_subsumption():
+    base = load_spec_file(builtin_spec_path("scalar-reduction"))
+    copy_text = _spec_text("scalar-reduction").replace(
+        "idiom scalar-reduction", "idiom scalar-copy"
+    )
+    copy = parse_spec_text(copy_text, path="copy.icsl")["scalar-copy"]
+    diags = cross_spec_diagnostics([base["scalar-reduction"], copy])
+    assert [d.code for d in diags] == ["ICSL010"]
+    assert "same solutions" in diags[0].message
+
+
+def test_extends_ancestry_not_reported():
+    """scalar-reduction refines for-loop by design — no ICSL010."""
+    specs = load_spec_file(builtin_spec_path("scalar-reduction"))
+    pair = [specs["scalar-reduction"], specs["scalar-reduction"].declared_base]
+    assert cross_spec_diagnostics(pair) == []
+
+
+# -- registry lint gate -------------------------------------------------------
+
+
+def test_registry_gate_accepts_builtins():
+    registry = IdiomRegistry(lint=True)
+    assert len(registry) == len(BUILTIN_SPEC_FILES)
+
+
+def test_registry_gate_rejects_bad_spec():
+    registry = IdiomRegistry(lint=True)
+    bad = IdiomSpec("custom-bad", ("x", "ghost"), Opcode("x", "add"))
+    with pytest.raises(SpecFileError) as exc:
+        registry.register(bad)
+    assert "ICSL001" in str(exc.value)
+    assert "custom-bad" not in registry
+
+
+def test_registry_gate_is_detection_neutral():
+    """A lint-gated registry produces byte-identical detection reports
+    (the gate runs only static analysis)."""
+    from repro.frontend import compile_source
+    from repro.idioms import find_reductions
+
+    module = compile_source(
+        """
+        double a[16]; int n;
+        double f(void) {
+            double s = 0.0;
+            for (int i = 0; i < n; i++) s = s + a[i];
+            return s;
+        }
+        """
+    )
+    plain = find_reductions(module, registry=IdiomRegistry())
+    gated = find_reductions(module, registry=IdiomRegistry(lint=True))
+    assert plain.counts() == gated.counts()
+    assert [s.name for s in plain.scalars] == [s.name for s in gated.scalars]
+    assert [
+        (s.op, sorted(b.short_name() for b in s.input_bases))
+        for s in plain.scalars
+    ] == [
+        (s.op, sorted(b.short_name() for b in s.input_bases))
+        for s in gated.scalars
+    ]
+
+
+def test_apply_orders_keeps_lint_metadata():
+    registry = IdiomRegistry()
+    original = registry.spec("for-loop")
+    order = tuple(reversed(original.label_order))
+    registry.apply_orders({"for-loop": order})
+    rebuilt = registry.spec("for-loop")
+    assert rebuilt.origin == original.origin
+    assert rebuilt.lint_ignores == original.lint_ignores
+
+
+# -- error rendering ----------------------------------------------------------
+
+
+def test_spec_file_error_render_has_caret():
+    try:
+        parse_spec_text(
+            "idiom broken {\n  order: x\n  frobnicate(x)\n}\n",
+            path="bad.icsl",
+        )
+    except SpecFileError as exc:
+        rendered = exc.render()
+    else:  # pragma: no cover
+        pytest.fail("expected SpecFileError")
+    lines = rendered.splitlines()
+    assert lines[0] == "bad.icsl:3:3: error: unknown atom 'frobnicate'"
+    assert lines[1] == "    frobnicate(x)"
+    assert lines[2] == "    ^"
+    # The caret column lines up with the offending token.
+    assert lines[1][lines[2].index("^")] == "f"
+
+
+def test_spec_file_error_column_points_at_bad_token():
+    try:
+        parse_spec_text(
+            "idiom broken {\n  order: x\n  edge(x x)\n}\n",
+            path="bad.icsl",
+        )
+    except SpecFileError as exc:
+        assert exc.line == 3
+        assert exc.column is not None
+        assert exc.render().count("^") == 1
+
+
+# -- determinism and robustness ----------------------------------------------
+
+_LABELS = ("a", "b", "c", "d")
+
+_ATOM_TEMPLATES = (
+    "branch({0}, {1})",
+    "edge({0}, {1})",
+    "dominates({0}, {1})",
+    "strictlydominates({0}, {1})",
+    "sese({0}, {1})",
+    "inblock({0}, {1})",
+    "opcode({0}, add, {1}, {2})",
+    "phi2({0}, {1}, {2})",
+    "distinct({0}, {1})",
+    "constant({0})",
+)
+
+
+@st.composite
+def _random_spec_text(draw):
+    statements = draw(st.lists(
+        st.tuples(
+            st.sampled_from(_ATOM_TEMPLATES),
+            st.lists(st.sampled_from(_LABELS), min_size=3, max_size=3),
+        ),
+        min_size=1, max_size=6,
+    ))
+    rendered = [template.format(*labels)
+                for template, labels in statements]
+    used = sorted({
+        label for _, labels in statements for label in labels
+    })
+    order = draw(st.permutations(used))
+    return (
+        "idiom fuzz {\n"
+        + f"  order: {' '.join(order)}\n\n"
+        + "".join(f"  {line}\n" for line in rendered)
+        + "}\n"
+    )
+
+
+@given(_random_spec_text())
+@settings(max_examples=60, deadline=None)
+def test_analyzer_never_crashes_and_is_deterministic(text):
+    spec = parse_spec_text(text, path="fuzz.icsl")["fuzz"]
+    first = analyze_spec(spec)
+    second = analyze_spec(spec)
+    render = lambda diags: "\n".join(d.render() for d in diags)
+    assert render(first) == render(second)
+    payload = report_json(first)
+    assert payload == report_json(second)
+    json.loads(payload)  # well-formed
+    for diag in first:
+        assert diag.code in DIAGNOSTIC_CODES
+
+
+def test_report_json_is_byte_deterministic_on_builtins():
+    first, _ = lint_spec_files(_builtin_paths(), cross=False)
+    second, _ = lint_spec_files(_builtin_paths(), cross=False)
+    assert report_json(first) == report_json(second)
+
+
+def test_render_report_hides_notes_by_default():
+    diags, _ = lint_spec_files([builtin_spec_path("for-loop")], cross=False)
+    assert "ICSL009" not in render_report(diags)
+    assert "ICSL009" in render_report(diags, notes=True)
+    assert "note(s) hidden" in render_report(diags)

@@ -175,3 +175,72 @@ def test_parallelize_reports_nothing_to_do(tmp_path, capsys):
     path.write_text("int main(void) { print_int(1); return 0; }")
     assert main(["parallelize", str(path)]) == 1
     assert "nothing to parallelize" in capsys.readouterr().out
+
+
+def test_detect_renders_spec_diagnostic(source_file, tmp_path, capsys):
+    """The malformed-spec path shows the caret-rendered diagnostic."""
+    bad = tmp_path / "bad.icsl"
+    bad.write_text("idiom broken {\n  order: x\n  frobnicate(x)\n}\n")
+    assert main(["detect", source_file, "--spec", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert f"{bad}:3:3: error:" in err
+    assert "^" in err
+
+
+def test_detect_lint_gate_rejects_bad_spec(source_file, tmp_path, capsys):
+    """--lint rejects a parseable spec with an unconstrained label."""
+    bad = tmp_path / "loose.icsl"
+    bad.write_text(
+        "idiom loose {\n"
+        "  order: x ghost\n\n"
+        "  opcode(x, add, _, _)\n"
+        "}\n"
+    )
+    assert main(["detect", source_file, "--spec", str(bad)]) == 0
+    capsys.readouterr()
+    assert main(
+        ["detect", source_file, "--spec", str(bad), "--lint"]
+    ) == 2
+    err = capsys.readouterr().err
+    assert "ICSL001" in err
+    assert "ghost" in err
+
+
+def test_lint_shipped_specs_clean(capsys):
+    assert main(["lint", "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 error(s), 0 warning(s)" in out
+
+
+def test_lint_json_report(capsys):
+    import json
+
+    assert main(["lint", "--strict", "--json", "--no-cross"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 1
+    assert payload["summary"]["error"] == 0
+    assert payload["summary"]["warning"] == 0
+    assert all(d["code"].startswith("ICSL") for d in payload["diagnostics"])
+
+
+def test_lint_bad_file_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.icsl"
+    bad.write_text("idiom broken {\n  order: x\n  frobnicate(x)\n}\n")
+    assert main(["lint", str(bad)]) == 2
+    out = capsys.readouterr().out
+    assert "ICSL000" in out
+
+
+def test_lint_strict_promotes_warnings(tmp_path, capsys):
+    spec = tmp_path / "warny.icsl"
+    spec.write_text(
+        "idiom warny {\n"
+        "  order: header body\n\n"
+        "  branch(header, body)\n"
+        "  dominates(header, header)\n"
+        "}\n"
+    )
+    assert main(["lint", str(spec)]) == 0
+    capsys.readouterr()
+    assert main(["lint", str(spec), "--strict"]) == 1
+    assert "ICSL005" in capsys.readouterr().out
