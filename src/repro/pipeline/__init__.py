@@ -73,12 +73,15 @@ from .engine import (
     resolve_feedback_options,
 )
 from .feedback import (
+    ExplorationPolicy,
     FeedbackStore,
+    OrderObs,
     canonical_orders,
     feedback_from_detection,
     feedback_from_report,
     load_feedback,
     save_feedback,
+    shape_bucket,
 )
 from .gateway import (
     GatewayClient,
@@ -153,7 +156,10 @@ __all__ = [
     "program_from_json",
     "load_report",
     "save_report",
+    "ExplorationPolicy",
     "FeedbackStore",
+    "OrderObs",
+    "shape_bucket",
     "canonical_orders",
     "feedback_from_detection",
     "feedback_from_report",

@@ -245,6 +245,8 @@ def detect_corpus(
     weights: "CorpusReport | Callable | None" = None,
     feedback_from: str | None = None,
     spec_orders=None,
+    explore: float = 0.0,
+    explore_seed: int = 0,
 ) -> CorpusReport:
     """Detect reductions across the corpus, optionally in parallel.
 
@@ -257,6 +259,12 @@ def detect_corpus(
     feedback artifact produces.  Either way the detections are
     unchanged — only the search order, and therefore the
     constraint-eval cost, moves.
+
+    ``explore`` turns on deterministic order exploration (see
+    :class:`~repro.pipeline.feedback.ExplorationPolicy`): that
+    fraction of functions runs under a one-transposition perturbed
+    order, and the report's digests carry per-order observations the
+    feedback store uses to adopt strictly-better measured orders.
     """
     options = PipelineOptions(
         jobs=jobs,
@@ -272,5 +280,7 @@ def detect_corpus(
         weights_from=weights_from,
         feedback_from=feedback_from,
         spec_orders=spec_orders,
+        explore=explore,
+        explore_seed=explore_seed,
     )
     return DetectionPipeline(options).run(keys=keys, weights=weights)

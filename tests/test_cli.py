@@ -244,3 +244,102 @@ def test_lint_strict_promotes_warnings(tmp_path, capsys):
     capsys.readouterr()
     assert main(["lint", str(spec), "--strict"]) == 1
     assert "ICSL005" in capsys.readouterr().out
+
+
+# -- feedback lifecycle commands ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def explored_artifact(tmp_path_factory):
+    """A feedback artifact with measured order rows (Parboil slice,
+    ε=0.5, seed=3 — a combination known to sample that slice)."""
+    from repro.pipeline import (detect_corpus, feedback_from_report,
+                                save_feedback)
+    from repro.workloads import corpus_keys
+
+    small = [key for key in corpus_keys() if key[1] == "Parboil"]
+    report = detect_corpus(jobs=1, keys=small, explore=0.5,
+                           explore_seed=3)
+    path = tmp_path_factory.mktemp("feedback") / "explored.json"
+    save_feedback(feedback_from_report(report), str(path))
+    return str(path)
+
+
+def test_feedback_inspect_is_deterministic(explored_artifact, capsys):
+    assert main(["feedback", "inspect", explored_artifact]) == 0
+    first = capsys.readouterr().out
+    assert f"feedback artifact {explored_artifact}" in first
+    assert "fingerprint" in first
+    assert "spec for-loop" in first
+    assert "[incumbent]" in first
+    assert "derive:" in first
+    assert main(["feedback", "inspect", explored_artifact]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_feedback_inspect_json(explored_artifact, capsys):
+    import json
+
+    assert main(["feedback", "inspect", explored_artifact, "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == 3
+    assert payload["orders"]
+    assert "derived_orders" in payload
+
+
+def test_feedback_diff_exit_codes(explored_artifact, tmp_path, capsys):
+    from repro.pipeline import load_feedback, save_feedback
+
+    assert main(["feedback", "diff", explored_artifact,
+                 explored_artifact]) == 0
+    assert "identical:" in capsys.readouterr().out
+
+    decayed = tmp_path / "decayed.json"
+    save_feedback(load_feedback(explored_artifact).decay(0.5),
+                  str(decayed))
+    assert main(["feedback", "diff", explored_artifact,
+                 str(decayed)]) == 1
+    out = capsys.readouterr().out
+    assert f"A {explored_artifact}:" in out
+    assert f"B {decayed}:" in out
+    assert "spec " in out
+
+
+def test_feedback_decay_cli(explored_artifact, tmp_path, capsys):
+    from repro.pipeline import load_feedback
+
+    out_path = tmp_path / "decayed.json"
+    assert main(["feedback", "decay", explored_artifact,
+                 "--keep", "0.5", "--out", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "before:" in out
+    assert "after:" in out
+    original = load_feedback(explored_artifact)
+    decayed = load_feedback(str(out_path))  # verifies its fingerprint
+    assert len(decayed.orders) <= len(original.orders)
+
+    assert main(["feedback", "decay", explored_artifact,
+                 "--keep", "1.5", "--out", str(out_path)]) == 2
+    assert "keep must be within" in capsys.readouterr().err
+
+
+def test_feedback_commands_reject_bad_artifact(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{\"version\": 99, \"specs\": {}}")
+    assert main(["feedback", "inspect", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "cannot load feedback artifact" in err
+    assert str(bad) in err
+    assert "hint:" in err
+
+
+def test_corpus_explore_records_measured_orders(tmp_path, capsys):
+    feedback = tmp_path / "explored.json"
+    assert main(["corpus", "--jobs", "2", "--explore", "0.25",
+                 "--explore-seed", "1",
+                 "--save-feedback", str(feedback)]) == 0
+    out = capsys.readouterr().out
+    assert "feedback saved to" in out
+    assert "measured order(s)" in out
+    assert main(["feedback", "inspect", str(feedback)]) == 0
+    assert "[incumbent]" in capsys.readouterr().out
